@@ -1,0 +1,66 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace bgckpt::bench {
+
+void banner(const std::string& artifact, const std::string& description) {
+  std::printf("\n====================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("Fu, Min, Latham, Carothers - \"Parallel I/O Performance for\n");
+  std::printf("Application-Level Checkpointing on the Blue Gene/P System\" (2011)\n");
+  std::printf("%s\n", description.c_str());
+  std::printf("====================================================================\n");
+}
+
+int reportChecks(const std::vector<Check>& checks) {
+  int failures = 0;
+  std::printf("\n");
+  for (const auto& c : checks) {
+    std::printf("SHAPE CHECK [%s]: %s (%s)\n", c.pass ? "PASS" : "FAIL",
+                c.name.c_str(), c.detail.c_str());
+    if (!c.pass) ++failures;
+  }
+  std::printf("%d/%zu shape checks passed\n",
+              static_cast<int>(checks.size()) - failures, checks.size());
+  return failures == 0 ? 0 : 1;
+}
+
+std::string gbs(double bytesPerSecond) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytesPerSecond / 1e9);
+  return buf;
+}
+
+std::string secs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  return buf;
+}
+
+iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
+                               std::uint64_t seed) {
+  iolib::SimStackOptions opt;
+  opt.seed = seed;
+  iolib::SimStack stack(np, opt);
+  return runSim(stack, np, cfg);
+}
+
+iolib::CheckpointResult runSim(iolib::SimStack& stack, int np,
+                               const iolib::StrategyConfig& cfg) {
+  const auto spec = iolib::CheckpointSpec::nekcemWeakScaling(np);
+  return iolib::runCheckpoint(stack, spec, cfg);
+}
+
+std::vector<Approach> paperApproaches(int np) {
+  using iolib::StrategyConfig;
+  return {
+      {"1PFPP", StrategyConfig::onePfpp()},
+      {"coIO, nf=1", StrategyConfig::coIo(1)},
+      {"coIO, np:nf=64:1", StrategyConfig::coIo(np / 64)},
+      {"rbIO, 64:1, nf=1", StrategyConfig::rbIo(64, false)},
+      {"rbIO, 64:1, nf=ng", StrategyConfig::rbIo(64, true)},
+  };
+}
+
+}  // namespace bgckpt::bench

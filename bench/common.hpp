@@ -1,0 +1,52 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every harness prints:
+//   1. a banner naming the paper artifact it regenerates,
+//   2. the measured series (plus the paper's approximate values where the
+//      text/figures state them),
+//   3. an ASCII rendering,
+//   4. SHAPE CHECK lines — the qualitative claims that must hold (who wins,
+//      by roughly what factor, where crossovers fall). A failed check makes
+//      the binary exit nonzero.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ascii.hpp"
+#include "iolib/strategies.hpp"
+
+namespace bgckpt::bench {
+
+struct Check {
+  std::string name;
+  bool pass = false;
+  std::string detail;
+};
+
+void banner(const std::string& artifact, const std::string& description);
+
+/// Print all checks; returns the process exit code (0 iff all pass).
+int reportChecks(const std::vector<Check>& checks);
+
+/// Format helpers.
+std::string gbs(double bytesPerSecond);
+std::string secs(double seconds);
+
+/// Run one simulated checkpoint on a fresh Intrepid stack (paper noise
+/// conditions, fixed seed) and return the result.
+iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
+                               std::uint64_t seed = 2011);
+
+/// Same, but also hand back the stack (for profile/fs inspection).
+iolib::CheckpointResult runSim(iolib::SimStack& stack, int np,
+                               const iolib::StrategyConfig& cfg);
+
+/// The five approaches of Figs. 5-7, in the paper's legend order.
+struct Approach {
+  std::string name;
+  iolib::StrategyConfig cfg;
+};
+std::vector<Approach> paperApproaches(int np);
+
+}  // namespace bgckpt::bench

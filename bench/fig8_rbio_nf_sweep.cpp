@@ -1,0 +1,64 @@
+// Figure 8: rbIO (nf=ng) bandwidth as a function of the number of files,
+// for 16K/32K/64K processors. The paper's observation: the GPFS deployment
+// on Intrepid prefers ~1024 concurrently-written files at every scale —
+// too few files underuse the per-stream service slots, too many thrash the
+// storage arrays and the directory metadata.
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+using namespace bgckpt;
+using namespace bgckpt::bench;
+
+int main() {
+  banner("Figure 8 - rbIO write performance vs number of files",
+         "rbIO with nf = ng, sweeping the writer-group ratio.");
+
+  const std::vector<int> scales = {16384, 32768, 65536};
+  const std::vector<int> files = {256, 512, 1024, 2048, 4096};
+  std::map<int, std::map<int, double>> bw;  // np -> nf -> GB/s
+
+  for (int np : scales) {
+    std::printf("\n-- np = %d --\n", np);
+    std::vector<analysis::Bar> bars;
+    for (int nf : files) {
+      const int groupSize = np / nf;
+      if (groupSize < 2) continue;
+      const auto r = runSim(np, iolib::StrategyConfig::rbIo(groupSize, true));
+      bw[np][nf] = r.bandwidth;
+      bars.push_back({"nf=" + std::to_string(nf), r.bandwidth / 1e9});
+      std::printf("  nf=%5d (np:ng=%3d:1)  %-12s  makespan %s\n", nf,
+                  groupSize, gbs(r.bandwidth).c_str(),
+                  secs(r.makespan).c_str());
+      std::fflush(stdout);
+    }
+    std::printf("%s", analysis::barChart(bars, "GB/s").c_str());
+  }
+
+  std::vector<Check> checks;
+  for (int np : scales) {
+    int best = 0;
+    double bestBw = 0;
+    for (const auto& [nf, v] : bw[np])
+      if (v > bestBw) {
+        bestBw = v;
+        best = nf;
+      }
+    checks.push_back({"optimum at nf=1024 for np=" + std::to_string(np),
+                      best == 1024,
+                      "best nf=" + std::to_string(best) + " at " +
+                          gbs(bestBw)});
+  }
+  for (int np : scales) {
+    checks.push_back(
+        {"too few files underperform at np=" + std::to_string(np),
+         bw[np][256] < 0.8 * bw[np][1024],
+         gbs(bw[np][256]) + " vs " + gbs(bw[np][1024])});
+    checks.push_back(
+        {"too many files underperform at np=" + std::to_string(np),
+         bw[np][4096] < 0.9 * bw[np][1024],
+         gbs(bw[np][4096]) + " vs " + gbs(bw[np][1024])});
+  }
+  return reportChecks(checks);
+}

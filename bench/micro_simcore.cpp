@@ -1,0 +1,93 @@
+// Microbenchmarks of the discrete-event kernel: these bound how large a
+// simulated machine the figure harnesses can afford.
+#include <benchmark/benchmark.h>
+
+#include "simcore/channel.hpp"
+#include "simcore/random.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/scheduler.hpp"
+
+namespace {
+
+using namespace bgckpt::sim;
+
+void BM_ScheduleAndRunCallbacks(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    int sum = 0;
+    for (int i = 0; i < n; ++i)
+      sched.scheduleCall(static_cast<double>(i % 97), [&sum] { ++sum; });
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleAndRunCallbacks)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SpawnCoroutines(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    auto body = [](Scheduler& s) -> Task<> { co_await s.delay(1.0); };
+    for (int i = 0; i < n; ++i) sched.spawn(body(sched));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SpawnCoroutines)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_PingPongChannel(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    Channel<int> ab(sched), ba(sched);
+    auto ping = [](Channel<int>& out, Channel<int>& in, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        out.push(i);
+        co_await in.recv();
+      }
+    };
+    auto pong = [](Channel<int>& in, Channel<int>& out, int n) -> Task<> {
+      for (int i = 0; i < n; ++i) {
+        co_await in.recv();
+        out.push(i);
+      }
+    };
+    sched.spawn(ping(ab, ba, rounds));
+    sched.spawn(pong(ab, ba, rounds));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_PingPongChannel)->Arg(1 << 12);
+
+void BM_ResourceContention(benchmark::State& state) {
+  const auto waiters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    Resource res(sched, 4);
+    auto body = [](Scheduler& s, Resource& r) -> Task<> {
+      for (int i = 0; i < 8; ++i) {
+        co_await r.acquire();
+        co_await s.delay(0.001);
+        r.release();
+      }
+    };
+    for (int i = 0; i < waiters; ++i) sched.spawn(body(sched, res));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * waiters * 8);
+}
+BENCHMARK(BM_ResourceContention)->Arg(256)->Arg(2048);
+
+void BM_RngStream(benchmark::State& state) {
+  RngStream rng(1, "bench");
+  double acc = 0;
+  for (auto _ : state) acc += rng.lognormal(1.0, 0.5);
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngStream);
+
+}  // namespace

@@ -1,0 +1,33 @@
+// Terminal rendering helpers for the figure benches: horizontal bar charts
+// (optionally log-scaled), scatter grids (the per-rank I/O time figures),
+// and multi-series columns (the nf sweep).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bgckpt::analysis {
+
+struct Bar {
+  std::string label;
+  double value = 0;
+};
+
+/// Horizontal bar chart. Values must be positive for logScale.
+std::string barChart(const std::vector<Bar>& bars, const std::string& unit,
+                     int width = 52, bool logScale = false);
+
+/// Scatter of (x, y) points on a character grid; used for the Fig. 9-11
+/// per-rank I/O time distributions.
+std::string scatter(const std::vector<double>& xs,
+                    const std::vector<double>& ys, int width = 72,
+                    int height = 20, const std::string& xLabel = "x",
+                    const std::string& yLabel = "y");
+
+/// Time-binned activity strip (Fig. 12): one row per series, column
+/// intensity from counts.
+std::string activityStrip(const std::vector<std::string>& names,
+                          const std::vector<std::vector<int>>& series,
+                          double binSeconds);
+
+}  // namespace bgckpt::analysis

@@ -1,0 +1,51 @@
+#include "analysis/checkpoint_interval.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bgckpt::analysis {
+
+double youngInterval(double checkpointSeconds, double mtbfSeconds) {
+  assert(checkpointSeconds > 0 && mtbfSeconds > 0);
+  return std::sqrt(2.0 * checkpointSeconds * mtbfSeconds);
+}
+
+double dalyInterval(double checkpointSeconds, double mtbfSeconds) {
+  assert(checkpointSeconds > 0 && mtbfSeconds > 0);
+  const double tc = checkpointSeconds;
+  const double m = mtbfSeconds;
+  if (tc >= 2.0 * m) return m;  // Daly's fallback regime
+  const double x = tc / (2.0 * m);
+  return std::sqrt(2.0 * tc * m) *
+             (1.0 + std::sqrt(x) / 3.0 + x / 9.0) -
+         tc;
+}
+
+double efficiency(double interval, double checkpointSeconds,
+                  double restartSeconds, double mtbfSeconds) {
+  assert(interval > 0 && mtbfSeconds > 0);
+  // Daly's expected-runtime model: a segment of `interval` useful seconds
+  // costs interval + Tc; failures arrive Poisson(1/M) and each costs the
+  // restart plus (on average) half a segment of lost work.
+  const double segment = interval + checkpointSeconds;
+  const double failureRate = 1.0 / mtbfSeconds;
+  const double lostPerFailure = restartSeconds + segment / 2.0;
+  const double wallPerSegment =
+      segment * (1.0 + failureRate * lostPerFailure);
+  return interval / wallPerSegment;
+}
+
+double systemMtbf(int nodes, double nodeMtbfSeconds) {
+  assert(nodes > 0 && nodeMtbfSeconds > 0);
+  return nodeMtbfSeconds / nodes;
+}
+
+double expectedRuntime(double workSeconds, double interval,
+                       double checkpointSeconds, double restartSeconds,
+                       double mtbfSeconds) {
+  const double eff =
+      efficiency(interval, checkpointSeconds, restartSeconds, mtbfSeconds);
+  return workSeconds / eff;
+}
+
+}  // namespace bgckpt::analysis

@@ -1,0 +1,37 @@
+// Optimal checkpoint cadence under failures.
+//
+// The paper's introduction motivates everything with rising failure rates:
+// "As the number of processors increases to hundreds of thousands ... the
+// failure probability rises correspondingly". The classical theory
+// (Young 1974, Daly 2006) converts a checkpoint cost Tc and a system MTBF
+// into the optimal interval and the expected efficiency — which is exactly
+// how a cheaper checkpoint (rbIO) buys more science per compute cycle:
+// lower Tc => shorter optimal interval => less lost work per failure AND
+// less time spent checkpointing.
+#pragma once
+
+namespace bgckpt::analysis {
+
+/// Young's first-order optimum: sqrt(2 * Tc * MTBF).
+double youngInterval(double checkpointSeconds, double mtbfSeconds);
+
+/// Daly's higher-order optimum (valid for Tc < 2 * MTBF):
+/// sqrt(2 Tc M) * [1 + sqrt(Tc/(2M))/3 + (Tc/(2M))/9] - Tc.
+double dalyInterval(double checkpointSeconds, double mtbfSeconds);
+
+/// Expected fraction of wall time doing useful work when checkpointing
+/// every `interval` seconds of computation with cost Tc, restart cost Tr,
+/// and exponential failures at rate 1/MTBF (Daly's run-time model).
+double efficiency(double interval, double checkpointSeconds,
+                  double restartSeconds, double mtbfSeconds);
+
+/// System MTBF for `nodes` nodes with per-node MTBF `nodeMtbfSeconds`.
+double systemMtbf(int nodes, double nodeMtbfSeconds);
+
+/// Expected wall time to complete `workSeconds` of computation under the
+/// same model.
+double expectedRuntime(double workSeconds, double interval,
+                       double checkpointSeconds, double restartSeconds,
+                       double mtbfSeconds);
+
+}  // namespace bgckpt::analysis

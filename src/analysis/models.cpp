@@ -1,0 +1,39 @@
+#include "analysis/models.hpp"
+
+#include <cassert>
+
+namespace bgckpt::analysis {
+
+double productionImprovement(double ratioBase, double ratioNew, double nc) {
+  assert(nc > 0);
+  return (ratioBase + nc) / (ratioNew + nc);
+}
+
+double blockedTimeCoIo(const SpeedupParams& p) {
+  return p.np * p.fileBytes / p.bwCoIo;
+}
+
+double blockedTimeRbIo(const SpeedupParams& p) {
+  const double workerTerm =
+      (p.np - p.ng) * (p.fileBytes / p.bwPerceived +
+                       p.lambda * p.fileBytes / p.bwRbIo);
+  const double writerTerm = p.ng * p.fileBytes / p.bwRbIo;
+  return workerTerm + writerTerm;
+}
+
+double speedupExact(const SpeedupParams& p) {
+  return blockedTimeCoIo(p) / blockedTimeRbIo(p);
+}
+
+double speedupApprox(const SpeedupParams& p) {
+  // Eq. (6): (np-ng)/np ~= 1 and BW_coIO/BW_p ~= 0.
+  const double denom =
+      (p.lambda + (p.ng / p.np) * (1.0 - p.lambda)) * (p.bwCoIo / p.bwRbIo);
+  return 1.0 / denom;
+}
+
+double speedupLimit(const SpeedupParams& p) {
+  return (p.np / p.ng) * (p.bwRbIo / p.bwCoIo);
+}
+
+}  // namespace bgckpt::analysis

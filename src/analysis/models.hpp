@@ -1,0 +1,51 @@
+// Analytical models from the paper.
+//
+// Eq. (1): end-to-end production improvement of one I/O approach over
+// another at checkpoint frequency nc (checkpoint every nc compute steps):
+//
+//     improvement = (Ratio_base + nc) / (Ratio_new + nc),
+//
+// where Ratio = T(checkpoint) / T(computation step) — Fig. 7's quantity.
+//
+// Eqs. (2)-(7), Section V-C2: total processor-time blocked by I/O.
+//
+//     T_coIO = np * S / BW_coIO                                       (3)
+//     T_rbIO = (np-ng) * (S/BW_p + lambda * S/BW_rbIO)
+//              + ng * S/BW_rbIO                                       (4)
+//     Speedup = T_coIO / T_rbIO                                       (2)
+//             ~ 1 / ((lambda + ng/np (1-lambda)) * BW_coIO/BW_rbIO)   (6)
+//             ~ (np/ng) * (BW_rbIO / BW_coIO)      for lambda -> 0    (7)
+#pragma once
+
+namespace bgckpt::analysis {
+
+/// Eq. (1).
+double productionImprovement(double ratioBase, double ratioNew, double nc);
+
+struct SpeedupParams {
+  double np = 0;            ///< total processors
+  double ng = 0;            ///< writers (aggregator processors)
+  double fileBytes = 0;     ///< S, bytes per checkpoint
+  double bwCoIo = 0;        ///< coIO raw write bandwidth (B/s)
+  double bwRbIo = 0;        ///< rbIO raw write bandwidth (B/s)
+  double bwPerceived = 0;   ///< worker-perceived handoff bandwidth (B/s)
+  double lambda = 0;        ///< fraction of writer write time workers block
+};
+
+/// Eq. (3): processor-seconds blocked under coIO.
+double blockedTimeCoIo(const SpeedupParams& p);
+
+/// Eq. (4): processor-seconds blocked under rbIO.
+double blockedTimeRbIo(const SpeedupParams& p);
+
+/// Eq. (2)/(5): exact ratio of the two.
+double speedupExact(const SpeedupParams& p);
+
+/// Eq. (6): the paper's simplification (drops the perceived-bandwidth
+/// term, np-ng ~= np).
+double speedupApprox(const SpeedupParams& p);
+
+/// Eq. (7): the lambda -> 0 limit, (np/ng) * BW_rbIO/BW_coIO.
+double speedupLimit(const SpeedupParams& p);
+
+}  // namespace bgckpt::analysis

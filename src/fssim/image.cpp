@@ -1,0 +1,126 @@
+#include "fssim/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bgckpt::fs {
+
+void FileImage::recordWrite(ByteRange range, std::span<const std::byte> data) {
+  if (range.length == 0) return;
+  assert(data.empty() || data.size() == range.length);
+  ++writeCount_;
+  bytesWritten_ += range.length;
+  size_ = std::max(size_, range.end());
+
+  // Trim or split any existing extents overlapping the new range.
+  auto it = extents_.upper_bound(range.offset);
+  if (it != extents_.begin()) --it;
+  while (it != extents_.end() && it->first < range.end()) {
+    const std::uint64_t exStart = it->first;
+    const std::uint64_t exEnd = exStart + it->second.length;
+    if (exEnd <= range.offset) {
+      ++it;
+      continue;
+    }
+    Extent old = std::move(it->second);
+    it = extents_.erase(it);
+    if (exStart < range.offset) {
+      // Keep the left remnant.
+      Extent left;
+      left.length = range.offset - exStart;
+      if (old.data)
+        left.data = std::vector<std::byte>(old.data->begin(),
+                                           old.data->begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   left.length));
+      extents_.emplace(exStart, std::move(left));
+    }
+    if (exEnd > range.end()) {
+      // Keep the right remnant.
+      Extent right;
+      right.length = exEnd - range.end();
+      if (old.data)
+        right.data = std::vector<std::byte>(
+            old.data->end() - static_cast<std::ptrdiff_t>(right.length),
+            old.data->end());
+      it = extents_.emplace(range.end(), std::move(right)).first;
+    }
+  }
+
+  Extent ext;
+  ext.length = range.length;
+  if (!data.empty()) ext.data = std::vector<std::byte>(data.begin(), data.end());
+  extents_.emplace(range.offset, std::move(ext));
+}
+
+std::uint64_t FileImage::coveredBytes() const {
+  std::uint64_t covered = 0;
+  for (const auto& [off, ext] : extents_) covered += ext.length;
+  return covered;
+}
+
+bool FileImage::coversExactly(std::uint64_t length) const {
+  return gaps(length).empty() && size_ <= length;
+}
+
+std::vector<ByteRange> FileImage::gaps(std::uint64_t length) const {
+  std::vector<ByteRange> result;
+  std::uint64_t cursor = 0;
+  for (const auto& [off, ext] : extents_) {
+    if (off >= length) break;
+    if (off > cursor) result.push_back({cursor, off - cursor});
+    cursor = std::max(cursor, off + ext.length);
+  }
+  if (cursor < length) result.push_back({cursor, length - cursor});
+  return result;
+}
+
+std::vector<std::byte> FileImage::readBytes(ByteRange range) const {
+  std::vector<std::byte> out(range.length, std::byte{0});
+  auto it = extents_.upper_bound(range.offset);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->first < range.end(); ++it) {
+    const std::uint64_t exStart = it->first;
+    const std::uint64_t exEnd = exStart + it->second.length;
+    if (exEnd <= range.offset || !it->second.data) continue;
+    const std::uint64_t lo = std::max(exStart, range.offset);
+    const std::uint64_t hi = std::min(exEnd, range.end());
+    std::copy_n(it->second.data->begin() +
+                    static_cast<std::ptrdiff_t>(lo - exStart),
+                hi - lo,
+                out.begin() + static_cast<std::ptrdiff_t>(lo - range.offset));
+  }
+  return out;
+}
+
+std::uint64_t FileImage::contentHash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto feed = [&h](std::byte b) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  };
+  std::uint64_t cursor = 0;
+  for (const auto& [off, ext] : extents_) {
+    for (; cursor < off; ++cursor) feed(std::byte{0});
+    if (ext.data) {
+      for (std::byte b : *ext.data) feed(b);
+    } else {
+      for (std::uint64_t i = 0; i < ext.length; ++i) feed(std::byte{0});
+    }
+    cursor = off + ext.length;
+  }
+  return h;
+}
+
+const FileImage* FsImage::find(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t FsImage::totalBytesWritten() const {
+  std::uint64_t total = 0;
+  for (const auto& [path, img] : files_) total += img.bytesWritten();
+  return total;
+}
+
+}  // namespace bgckpt::fs

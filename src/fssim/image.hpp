@@ -1,0 +1,93 @@
+// Logical file images.
+//
+// The simulator separates *timing* (modelled by the GPFS/PVFS engines) from
+// *content*. Every simulated write is also recorded here, so tests can
+// verify correctness properties that the paper's strategies must uphold:
+// written extents tile the file exactly (no holes, no double-writes of
+// conflicting data), and — when callers supply real payload bytes — the
+// final byte content is identical across I/O strategies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace bgckpt::fs {
+
+/// A half-open byte range [offset, offset + length).
+struct ByteRange {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::uint64_t end() const { return offset + length; }
+  bool operator==(const ByteRange&) const = default;
+};
+
+class FileImage {
+ public:
+  /// Record a write. `data`, when non-empty, must be exactly `range.length`
+  /// bytes; content mode and size-only mode can be mixed freely (size-only
+  /// writes blank out any overlapped content).
+  void recordWrite(ByteRange range, std::span<const std::byte> data = {});
+
+  /// Highest written offset (the file size for append-style writers).
+  std::uint64_t size() const { return size_; }
+
+  /// Total bytes covered by written extents (overlaps counted once).
+  std::uint64_t coveredBytes() const;
+
+  /// True when the written extents tile [0, length) with no gap.
+  bool coversExactly(std::uint64_t length) const;
+
+  /// Uncovered holes within [0, length).
+  std::vector<ByteRange> gaps(std::uint64_t length) const;
+
+  /// Number of distinct writes recorded.
+  std::uint64_t writeCount() const { return writeCount_; }
+
+  /// Bytes written including overlap re-writes.
+  std::uint64_t bytesWritten() const { return bytesWritten_; }
+
+  /// Read back content. Unwritten or size-only bytes read as zero.
+  std::vector<std::byte> readBytes(ByteRange range) const;
+
+  /// FNV-1a hash over the full [0, size()) content (zeros for holes).
+  std::uint64_t contentHash() const;
+
+ private:
+  struct Extent {
+    std::uint64_t length = 0;
+    std::optional<std::vector<std::byte>> data;  // nullopt: size-only
+  };
+
+  // Non-overlapping extents keyed by start offset.
+  std::map<std::uint64_t, Extent> extents_;
+  std::uint64_t size_ = 0;
+  std::uint64_t writeCount_ = 0;
+  std::uint64_t bytesWritten_ = 0;
+};
+
+/// The namespace of one simulated filesystem.
+class FsImage {
+ public:
+  FileImage& file(const std::string& path) { return files_[path]; }
+  const FileImage* find(const std::string& path) const;
+  bool exists(const std::string& path) const {
+    return files_.contains(path);
+  }
+  std::size_t fileCount() const { return files_.size(); }
+  std::uint64_t totalBytesWritten() const;
+
+  const std::map<std::string, FileImage>& files() const { return files_; }
+
+ private:
+  std::map<std::string, FileImage> files_;
+};
+
+}  // namespace bgckpt::fs

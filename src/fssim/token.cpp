@@ -1,0 +1,124 @@
+#include "fssim/token.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace bgckpt::fs {
+
+namespace {
+constexpr std::uint64_t kWholeFile = std::numeric_limits<std::uint64_t>::max();
+}
+
+RangeTokenManager::AcquireResult RangeTokenManager::acquire(int client,
+                                                            BlockRange range) {
+  return acquire(client, range, range);
+}
+
+RangeTokenManager::AcquireResult RangeTokenManager::acquire(
+    int client, BlockRange required, BlockRange desired) {
+  assert(required.hi > required.lo);
+  assert(desired.lo <= required.lo && desired.hi >= required.hi);
+  AcquireResult result;
+  if (holds(client, required)) {
+    result.alreadyHeld = true;
+    return result;
+  }
+
+  if (virgin_) {
+    // Optimistic whole-file grant to the first client.
+    virgin_ = false;
+    holdings_.emplace(0, Holding{kWholeFile, client});
+    return result;
+  }
+
+  // Revoke every holding conflicting with `required`. A revoked holder
+  // relinquishes its whole overlap with `desired`; it keeps only the parts
+  // outside `desired`.
+  std::uint64_t grantLo = required.lo;
+  std::uint64_t grantHi = required.hi;
+  auto it = holdings_.upper_bound(required.lo);
+  if (it != holdings_.begin()) --it;
+  while (it != holdings_.end() && it->first < required.hi) {
+    const std::uint64_t hLo = it->first;
+    const std::uint64_t hHi = it->second.hi;
+    const int hClient = it->second.client;
+    if (hHi <= required.lo) {
+      ++it;
+      continue;
+    }
+    it = holdings_.erase(it);
+    if (hClient != client) ++result.revocations;
+    // Taken: H intersect desired. Kept: below desired.lo / above desired.hi.
+    grantLo = std::min(grantLo, std::max(hLo, desired.lo));
+    grantHi = std::max(grantHi, std::min(hHi, desired.hi));
+    if (hLo < desired.lo)
+      holdings_.emplace(hLo, Holding{desired.lo, hClient});
+    if (hHi > desired.hi)
+      it = holdings_.emplace(desired.hi, Holding{hHi, hClient}).first;
+  }
+  totalRevocations_ += static_cast<std::uint64_t>(result.revocations);
+
+  // Claim free space inside `desired` adjacent to the grant, stopping at
+  // the nearest remaining holdings.
+  {
+    auto next = holdings_.lower_bound(grantHi);
+    // A holding straddling grantHi cannot exist (it would have conflicted),
+    // so the next holding's lo bounds the free extension.
+    const std::uint64_t freeHi =
+        next == holdings_.end() ? kWholeFile : next->first;
+    grantHi = std::max(grantHi, std::min(desired.hi, freeHi));
+    auto prev = holdings_.lower_bound(grantLo);
+    const std::uint64_t freeLo =
+        prev == holdings_.begin() ? 0 : std::prev(prev)->second.hi;
+    grantLo = std::min(grantLo, std::max(desired.lo, freeLo));
+  }
+
+  insertMerged(client, {grantLo, grantHi});
+  return result;
+}
+
+bool RangeTokenManager::holds(int client, BlockRange range) const {
+  std::uint64_t cursor = range.lo;
+  auto it = holdings_.upper_bound(range.lo);
+  if (it != holdings_.begin()) --it;
+  for (; it != holdings_.end() && it->first < range.hi; ++it) {
+    if (it->second.hi <= cursor) continue;
+    if (it->second.client != client) return false;
+    if (it->first > cursor) return false;  // gap: nobody holds it
+    cursor = it->second.hi;
+    if (cursor >= range.hi) return true;
+  }
+  return cursor >= range.hi;
+}
+
+void RangeTokenManager::releaseClient(int client) {
+  for (auto it = holdings_.begin(); it != holdings_.end();) {
+    if (it->second.client == client)
+      it = holdings_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void RangeTokenManager::insertMerged(int client, BlockRange range) {
+  // Merge with adjacent holdings of the same client.
+  std::uint64_t lo = range.lo;
+  std::uint64_t hi = range.hi;
+  auto it = holdings_.lower_bound(lo);
+  if (it != holdings_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.client == client && prev->second.hi == lo) {
+      lo = prev->first;
+      holdings_.erase(prev);
+    }
+  }
+  it = holdings_.lower_bound(hi);
+  if (it != holdings_.end() && it->second.client == client && it->first == hi) {
+    hi = it->second.hi;
+    holdings_.erase(it);
+  }
+  holdings_.emplace(lo, Holding{hi, client});
+}
+
+}  // namespace bgckpt::fs

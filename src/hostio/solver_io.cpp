@@ -1,0 +1,76 @@
+#include "hostio/solver_io.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bgckpt::hostio {
+
+namespace {
+
+std::size_t dofPerRank(const nekcem::MaxwellSolver& solver, int np) {
+  const int elements = solver.mesh().numElements();
+  if (np < 1 || elements % np != 0)
+    throw std::invalid_argument(
+        "logical rank count must divide the element count");
+  return solver.dofPerComponent() / static_cast<std::size_t>(np);
+}
+
+}  // namespace
+
+HostSpec solverSpec(const nekcem::MaxwellSolver& solver, int np,
+                    std::string directory, int step) {
+  HostSpec spec;
+  spec.directory = std::move(directory);
+  spec.step = step;
+  spec.fieldNames = {"Ex", "Ey", "Ez", "Hx", "Hy", "Hz"};
+  spec.fieldBytesPerRank = dofPerRank(solver, np) * sizeof(double);
+  spec.simTime = solver.time();
+  spec.iteration = solver.stepsTaken();
+  return spec;
+}
+
+HostRankData sliceSolverState(const nekcem::MaxwellSolver& solver, int rank,
+                              int np) {
+  const std::size_t dof = dofPerRank(solver, np);
+  const std::size_t offset = static_cast<std::size_t>(rank) * dof;
+  HostRankData data;
+  data.fields.resize(nekcem::kNumFieldComponents);
+  for (int f = 0; f < nekcem::kNumFieldComponents; ++f) {
+    const auto& c = solver.fields().comp[static_cast<std::size_t>(f)];
+    auto& out = data.fields[static_cast<std::size_t>(f)];
+    out.resize(dof * sizeof(double));
+    std::memcpy(out.data(), c.data() + offset, out.size());
+  }
+  return data;
+}
+
+std::vector<HostRankData> snapshotSolver(const nekcem::MaxwellSolver& solver,
+                                         int np) {
+  std::vector<HostRankData> data;
+  data.reserve(static_cast<std::size_t>(np));
+  for (int r = 0; r < np; ++r)
+    data.push_back(sliceSolverState(solver, r, np));
+  return data;
+}
+
+void restoreSolver(nekcem::MaxwellSolver& solver,
+                   const std::vector<HostRankData>& data,
+                   const HostSpec& spec) {
+  const int np = static_cast<int>(data.size());
+  const std::size_t dof = dofPerRank(solver, np);
+  for (int r = 0; r < np; ++r) {
+    const auto& rank = data[static_cast<std::size_t>(r)];
+    if (rank.fields.size() != nekcem::kNumFieldComponents ||
+        rank.fields[0].size() != dof * sizeof(double))
+      throw std::invalid_argument("checkpoint does not match solver layout");
+    for (int f = 0; f < nekcem::kNumFieldComponents; ++f) {
+      auto& c = solver.fields().comp[static_cast<std::size_t>(f)];
+      std::memcpy(c.data() + static_cast<std::size_t>(r) * dof,
+                  rank.fields[static_cast<std::size_t>(f)].data(),
+                  dof * sizeof(double));
+    }
+  }
+  solver.setTime(spec.simTime, spec.iteration);
+}
+
+}  // namespace bgckpt::hostio

@@ -1,0 +1,33 @@
+// Glue between the mini solver and the host checkpointing backend.
+//
+// A single in-process MaxwellSolver stands in for an SPMD job: its elements
+// are partitioned into `np` logical ranks, each contributing six field
+// blocks, exactly as production NekCEM ranks do. Checkpoints written this
+// way restart the solver bit-for-bit.
+#pragma once
+
+#include "hostio/host_checkpoint.hpp"
+#include "nekcem/maxwell.hpp"
+
+namespace bgckpt::hostio {
+
+/// Checkpoint geometry for a solver partitioned into np logical ranks.
+/// Throws unless np divides the element count.
+HostSpec solverSpec(const nekcem::MaxwellSolver& solver, int np,
+                    std::string directory, int step);
+
+/// Extract logical rank `rank`'s six field blocks (element-range slices).
+HostRankData sliceSolverState(const nekcem::MaxwellSolver& solver, int rank,
+                              int np);
+
+/// All ranks at once.
+std::vector<HostRankData> snapshotSolver(const nekcem::MaxwellSolver& solver,
+                                         int np);
+
+/// Restore a solver from per-rank blocks (inverse of snapshotSolver) and
+/// reinstate time/iteration from `spec`.
+void restoreSolver(nekcem::MaxwellSolver& solver,
+                   const std::vector<HostRankData>& data,
+                   const HostSpec& spec);
+
+}  // namespace bgckpt::hostio

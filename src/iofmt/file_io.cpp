@@ -1,0 +1,159 @@
+#include "iofmt/file_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+namespace bgckpt::iofmt {
+
+namespace {
+
+void pwriteAll(int fd, std::span<const std::byte> data, std::uint64_t offset) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n = ::pwrite(fd, data.data() + done, data.size() - done,
+                               static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pwrite failed: ") +
+                               std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+std::vector<std::byte> preadAll(int fd, std::uint64_t bytes,
+                                std::uint64_t offset) {
+  std::vector<std::byte> out(bytes);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + done, out.size() - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("pread failed: ") +
+                               std::strerror(errno));
+    }
+    if (n == 0) throw std::runtime_error("unexpected EOF in checkpoint file");
+    done += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+/// Section CRC: crc32 over the little-endian per-block CRCs in rank order.
+std::uint32_t combineBlockCrcs(const std::vector<std::uint32_t>& crcs) {
+  std::vector<std::byte> buf(crcs.size() * 4);
+  for (std::size_t i = 0; i < crcs.size(); ++i)
+    putU32(buf, i * 4, crcs[i]);
+  return crc32(buf);
+}
+
+}  // namespace
+
+struct CheckpointWriter::Impl {
+  int fd = -1;
+  // blockCrcs[field][rank]; written flags mirror it.
+  std::vector<std::vector<std::uint32_t>> blockCrcs;
+  std::vector<std::vector<char>> written;
+};
+
+CheckpointWriter::CheckpointWriter(const std::string& path, FileSpec spec)
+    : impl_(std::make_unique<Impl>()), spec_(std::move(spec)) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  if (!dir.empty()) std::filesystem::create_directories(dir);
+  impl_->fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (impl_->fd < 0)
+    throw std::runtime_error("cannot create checkpoint file " + path + ": " +
+                             std::strerror(errno));
+  const auto header = encodeMasterHeader(spec_);
+  pwriteAll(impl_->fd, header, 0);
+  impl_->blockCrcs.assign(
+      spec_.numFields(),
+      std::vector<std::uint32_t>(spec_.ranksInFile, 0));
+  impl_->written.assign(spec_.numFields(),
+                        std::vector<char>(spec_.ranksInFile, 0));
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (impl_ && impl_->fd >= 0) ::close(impl_->fd);
+}
+
+void CheckpointWriter::writeBlock(int field, int rankInFile,
+                                  std::span<const std::byte> data) {
+  if (data.size() != spec_.fieldBytesPerRank)
+    throw std::invalid_argument("block size mismatch");
+  pwriteAll(impl_->fd, data, spec_.blockOffset(field, rankInFile));
+  impl_->blockCrcs[static_cast<std::size_t>(field)]
+                  [static_cast<std::size_t>(rankInFile)] = crc32(data);
+  impl_->written[static_cast<std::size_t>(field)]
+                [static_cast<std::size_t>(rankInFile)] = 1;
+}
+
+void CheckpointWriter::close() {
+  if (impl_->fd < 0) return;
+  for (std::uint32_t f = 0; f < spec_.numFields(); ++f) {
+    for (std::uint32_t r = 0; r < spec_.ranksInFile; ++r)
+      if (!impl_->written[f][r])
+        throw std::runtime_error("block never written: field " +
+                                 std::to_string(f) + " rank " +
+                                 std::to_string(r));
+    const auto header = encodeSectionHeader(
+        spec_, static_cast<int>(f), combineBlockCrcs(impl_->blockCrcs[f]));
+    pwriteAll(impl_->fd, header, spec_.sectionOffset(static_cast<int>(f)));
+  }
+  ::close(impl_->fd);
+  impl_->fd = -1;
+}
+
+struct CheckpointReader::Impl {
+  int fd = -1;
+};
+
+CheckpointReader::CheckpointReader(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->fd = ::open(path.c_str(), O_RDONLY);
+  if (impl_->fd < 0)
+    throw std::runtime_error("cannot open checkpoint file " + path + ": " +
+                             std::strerror(errno));
+  const auto header = preadAll(impl_->fd, kMasterHeaderBytes, 0);
+  spec_ = decodeMasterHeader(header);
+}
+
+CheckpointReader::~CheckpointReader() {
+  if (impl_ && impl_->fd >= 0) ::close(impl_->fd);
+}
+
+std::vector<std::byte> CheckpointReader::readBlock(int field,
+                                                   int rankInFile) const {
+  if (field < 0 || static_cast<std::uint32_t>(field) >= spec_.numFields() ||
+      rankInFile < 0 ||
+      static_cast<std::uint32_t>(rankInFile) >= spec_.ranksInFile)
+    throw std::out_of_range("block index out of range");
+  return preadAll(impl_->fd, spec_.fieldBytesPerRank,
+                  spec_.blockOffset(field, rankInFile));
+}
+
+SectionInfo CheckpointReader::sectionInfo(int field) const {
+  const auto bytes =
+      preadAll(impl_->fd, kSectionHeaderBytes, spec_.sectionOffset(field));
+  return decodeSectionHeader(bytes);
+}
+
+bool CheckpointReader::verify() const {
+  for (std::uint32_t f = 0; f < spec_.numFields(); ++f) {
+    std::vector<std::uint32_t> crcs(spec_.ranksInFile);
+    for (std::uint32_t r = 0; r < spec_.ranksInFile; ++r)
+      crcs[r] = crc32(readBlock(static_cast<int>(f), static_cast<int>(r)));
+    if (combineBlockCrcs(crcs) != sectionInfo(static_cast<int>(f)).crc)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace bgckpt::iofmt

@@ -1,0 +1,113 @@
+#include "iolib/restart.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "iolib/layout.hpp"
+
+namespace bgckpt::iolib {
+
+namespace {
+
+using mpi::Comm;
+using sim::Task;
+
+constexpr int kScatterTag = 88;
+
+struct RestartState {
+  CheckpointSpec spec;
+  RestartConfig cfg;
+  SimStack* stack = nullptr;
+  std::vector<double> perRank;
+};
+
+Task<> directRead(Comm world, RestartState& st) {
+  auto& fsys = st.stack->fsys;
+  const int rank = world.rank();
+  const int client = world.globalRank(rank);
+  const int part = rank / st.cfg.groupSize;
+  const int local = rank % st.cfg.groupSize;
+  GroupFileLayout layout(st.spec, st.cfg.groupSize);
+
+  auto fh = co_await fsys.open(client, checkpointPath(st.spec, part));
+  // Header (every reader needs the offset table), then its field blocks.
+  co_await fsys.read(client, fh, 0, st.spec.headerBytes);
+  for (int f = 0; f < st.spec.numFields; ++f)
+    co_await fsys.read(client, fh, layout.fieldOffset(f, local),
+                       st.spec.fieldBytesPerRank);
+  co_await fsys.close(client, fh);
+}
+
+Task<> leaderScatter(Comm world, RestartState& st) {
+  auto& fsys = st.stack->fsys;
+  const int rank = world.rank();
+  const int g = st.cfg.groupSize;
+  const int part = rank / g;
+  const bool isLeader = rank % g == 0;
+  GroupFileLayout layout(st.spec, g);
+
+  if (isLeader) {
+    const int client = world.globalRank(rank);
+    auto fh = co_await fsys.open(client, checkpointPath(st.spec, part));
+    co_await fsys.read(client, fh, 0, layout.fileBytes());  // sequential
+    co_await fsys.close(client, fh);
+    // Scatter each member's package over the torus.
+    for (int member = 1; member < g; ++member) {
+      mpi::Request req = co_await world.isend(
+          part * g + member, kScatterTag,
+          mpi::Message::ofSize(st.spec.bytesPerRank()));
+      (void)req;  // receivers bound completion
+    }
+  } else {
+    co_await world.recv(part * g, kScatterTag);
+  }
+}
+
+Task<> rankProgram(Comm world, RestartState& st) {
+  co_await world.barrier();
+  const double start = world.scheduler().now();
+  if (st.cfg.mode == RestartMode::kDirect)
+    co_await directRead(world, st);
+  else
+    co_await leaderScatter(world, st);
+  st.perRank[static_cast<std::size_t>(world.rank())] =
+      world.scheduler().now() - start;
+}
+
+}  // namespace
+
+RestartResult runRestart(SimStack& stack, const CheckpointSpec& spec,
+                         const RestartConfig& cfg) {
+  const int np = stack.rt.numRanks();
+  if (cfg.groupSize < 1 || np % cfg.groupSize != 0)
+    throw std::invalid_argument("restart: groupSize must divide np");
+  const int parts = np / cfg.groupSize;
+  for (int part = 0; part < parts; ++part)
+    if (!stack.fsys.image().exists(checkpointPath(spec, part)))
+      throw std::runtime_error("restart: missing checkpoint part " +
+                               checkpointPath(spec, part));
+
+  RestartState st;
+  st.spec = spec;
+  st.cfg = cfg;
+  st.stack = &stack;
+  st.perRank.assign(static_cast<std::size_t>(np), 0.0);
+
+  stack.rt.spawnAll(
+      [&st](Comm world) -> Task<> { co_await rankProgram(world, st); });
+  stack.sched.run();
+  if (stack.sched.liveRoots() != 0)
+    throw std::runtime_error("restart run deadlocked");
+
+  RestartResult result;
+  result.perRankTime = st.perRank;
+  result.makespan = *std::max_element(st.perRank.begin(), st.perRank.end());
+  result.logicalBytes =
+      static_cast<sim::Bytes>(np) * spec.bytesPerRank() +
+      static_cast<sim::Bytes>(parts) * spec.headerBytes;
+  result.bandwidth =
+      static_cast<double>(result.logicalBytes) / result.makespan;
+  return result;
+}
+
+}  // namespace bgckpt::iolib

@@ -1,0 +1,40 @@
+// Restart: reading a checkpoint back into the job (simulated backend).
+//
+// The paper's case for application-level checkpointing rests on these files
+// being restartable and portable. Two read strategies are provided:
+//
+//  * kDirect        every rank opens its part file and reads its own field
+//                   blocks (strided reads; metadata-heavy at scale);
+//  * kLeaderScatter one leader per part file reads it sequentially and
+//                   scatters blocks to the group over the torus — the
+//                   read-side mirror of rbIO.
+#pragma once
+
+#include "iolib/spec.hpp"
+#include "iolib/stack.hpp"
+
+namespace bgckpt::iolib {
+
+enum class RestartMode { kDirect, kLeaderScatter };
+
+struct RestartConfig {
+  RestartMode mode = RestartMode::kLeaderScatter;
+  /// Ranks per checkpoint part file (must match how it was written:
+  /// 1 for 1PFPP output, the group size for coIO/rbIO output).
+  int groupSize = 64;
+};
+
+struct RestartResult {
+  double makespan = 0;
+  double bandwidth = 0;        ///< logical bytes / makespan
+  sim::Bytes logicalBytes = 0;
+  std::vector<double> perRankTime;
+};
+
+/// Read the checkpoint described by `spec` back into all ranks. The files
+/// must exist in the stack's filesystem image (written by a prior
+/// runCheckpoint with a matching layout).
+RestartResult runRestart(SimStack& stack, const CheckpointSpec& spec,
+                         const RestartConfig& cfg);
+
+}  // namespace bgckpt::iolib

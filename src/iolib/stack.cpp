@@ -1,0 +1,16 @@
+#include "iolib/stack.hpp"
+
+namespace bgckpt::iolib {
+
+SimStack::SimStack(int numRanks, SimStackOptions options)
+    : mach(machine::intrepidMachine(numRanks)),
+      torus(sched, mach),
+      coll(mach),
+      ion(sched, mach),
+      fabric(sched, mach, options.seed, options.noise,
+             options.fsConfig.serverConcurrency),
+      fsys(sched, mach, ion, fabric, options.seed, options.fsConfig),
+      rt(sched, mach, torus, coll, options.seed),
+      seed(options.seed) {}
+
+}  // namespace bgckpt::iolib

@@ -1,0 +1,47 @@
+// One-stop wiring of the full simulated Intrepid stack.
+//
+// Bundles the scheduler, machine model, torus + collective networks, ION
+// forwarding, storage fabric, parallel filesystem and the MPI runtime, so
+// benches and tests can stand up a complete system in one line:
+//
+//   iolib::SimStack stack(16384);                 // 16K-rank Intrepid, GPFS
+//   auto result = runCheckpoint(stack, spec, cfg);
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "fssim/parallel_fs.hpp"
+#include "machine/bgp.hpp"
+#include "mpisim/comm.hpp"
+#include "netsim/ion.hpp"
+#include "netsim/torus.hpp"
+#include "profiling/profile.hpp"
+#include "simcore/scheduler.hpp"
+#include "storsim/fabric.hpp"
+
+namespace bgckpt::iolib {
+
+struct SimStackOptions {
+  fs::FsConfig fsConfig = fs::gpfsConfig();
+  stor::NoiseModel noise;  // paper conditions: shared system, normal load
+  std::uint64_t seed = 2011;
+};
+
+class SimStack {
+ public:
+  explicit SimStack(int numRanks, SimStackOptions options = {});
+
+  sim::Scheduler sched;
+  machine::Machine mach;
+  net::TorusNetwork torus;
+  net::CollectiveNetwork coll;
+  net::IonForwarding ion;
+  stor::StorageFabric fabric;
+  fs::ParallelFsSim fsys;
+  mpi::Runtime rt;
+  prof::IoProfile profile;
+  std::uint64_t seed;
+};
+
+}  // namespace bgckpt::iolib

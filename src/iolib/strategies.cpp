@@ -1,0 +1,521 @@
+#include "iolib/strategies.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "iolib/campaign.hpp"
+#include "iolib/layout.hpp"
+
+namespace bgckpt::iolib {
+
+namespace {
+
+constexpr int kPackageTag = 77;
+
+using mpi::Comm;
+using mpi::Message;
+using sim::Task;
+
+std::span<const std::byte> slice(const std::vector<std::byte>& v,
+                                 std::uint64_t off, std::uint64_t len) {
+  return std::span<const std::byte>(v.data() + off, len);
+}
+
+struct RunState {
+  CheckpointSpec spec;
+  StrategyConfig cfg;
+  SimStack* stack = nullptr;
+  int nf = 0;          // resolved file count
+  int groupSize = 0;   // ranks per file group
+  int packageTag = kPackageTag;  // per-generation tag in campaigns
+  double t0 = 0;
+  std::vector<double> perRank;
+  std::vector<double> isendTime;  // workers (rbIO); -1 elsewhere
+  std::vector<char> isWriter;
+};
+
+RunState makeRunState(SimStack& stack, const CheckpointSpec& spec,
+                      const StrategyConfig& cfg) {
+  const int np = stack.rt.numRanks();
+  RunState st;
+  st.spec = spec;
+  st.cfg = cfg;
+  st.stack = &stack;
+  switch (cfg.kind) {
+    case StrategyKind::k1Pfpp:
+      st.nf = np;
+      st.groupSize = 1;
+      break;
+    case StrategyKind::kCoIo:
+      if (cfg.nf < 1 || np % cfg.nf != 0)
+        throw std::invalid_argument("coIO: nf must divide np");
+      st.nf = cfg.nf;
+      st.groupSize = np / cfg.nf;
+      break;
+    case StrategyKind::kRbIo:
+      if (cfg.groupSize < 2 || np % cfg.groupSize != 0)
+        throw std::invalid_argument("rbIO: groupSize must divide np");
+      st.groupSize = cfg.groupSize;
+      st.nf = cfg.nf == 1 ? 1 : np / cfg.groupSize;
+      break;
+  }
+  st.perRank.assign(static_cast<std::size_t>(np), 0.0);
+  st.isendTime.assign(static_cast<std::size_t>(np), -1.0);
+  st.isWriter.assign(static_cast<std::size_t>(np), 0);
+  return st;
+}
+
+// ---------------------------------------------------------------- 1PFPP --
+
+Task<> run1Pfpp(Comm world, RunState& st) {
+  auto& fsys = st.stack->fsys;
+  auto& sched = st.stack->sched;
+  auto& prof = st.stack->profile;
+  const int rank = world.rank();
+  const int client = world.globalRank(rank);
+  const auto& spec = st.spec;
+  GroupFileLayout layout(spec, 1);
+
+  // OS and network skew randomises the order in which ranks reach the
+  // metadata service — this is what turns the create queue into the
+  // scattered per-rank times of Fig. 9.
+  {
+    sim::RngStream arrival(st.stack->seed, "1pfpp-arrival",
+                           static_cast<std::uint64_t>(rank));
+    co_await sched.delay(arrival.uniform(0.0, 0.05));
+  }
+
+  std::vector<std::byte> header, payload;
+  if (spec.carryPayload) {
+    header = makeHeaderPayload(spec, rank);
+    payload = makeRankPayload(spec, rank);
+  }
+
+  // Optional single-file-per-directory variant: each rank creates in its
+  // own directory, so creates no longer serialise on one directory.
+  const std::string path =
+      st.cfg.onePfppPrivateDirs
+          ? spec.directory + "/r" + std::to_string(rank) + "/s" +
+                std::to_string(spec.step)
+          : checkpointPath(spec, rank);
+  prof::ScopedOp createOp(prof, rank, prof::Op::kCreate, sched.now());
+  auto fh = co_await fsys.create(client, path);
+  createOp.stop(sched.now());
+
+  prof::ScopedOp hdrOp(prof, rank, prof::Op::kWrite, sched.now());
+  co_await fsys.write(client, fh, 0, spec.headerBytes,
+                      spec.carryPayload ? std::span<const std::byte>(header)
+                                        : std::span<const std::byte>());
+  hdrOp.stop(sched.now(), spec.headerBytes);
+
+  for (int f = 0; f < spec.numFields; ++f) {
+    prof::ScopedOp writeOp(prof, rank, prof::Op::kWrite, sched.now());
+    co_await fsys.write(
+        client, fh, layout.fieldOffset(f, 0), spec.fieldBytesPerRank,
+        spec.carryPayload
+            ? slice(payload,
+                    static_cast<std::uint64_t>(f) * spec.fieldBytesPerRank,
+                    spec.fieldBytesPerRank)
+            : std::span<const std::byte>());
+    writeOp.stop(sched.now(), spec.fieldBytesPerRank);
+  }
+
+  prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+  co_await fsys.close(client, fh);
+  closeOp.stop(sched.now());
+}
+
+// ----------------------------------------------------------------- coIO --
+
+Task<> runCoIo(Comm world, RunState& st) {
+  auto& fsys = st.stack->fsys;
+  auto& sched = st.stack->sched;
+  auto& prof = st.stack->profile;
+  const auto& spec = st.spec;
+  const int rank = world.rank();
+  const int part = rank / st.groupSize;
+
+  Comm sub = co_await world.split(part, rank);
+  GroupFileLayout layout(spec, st.groupSize);
+
+  std::vector<std::byte> header, payload;
+  if (spec.carryPayload) {
+    header = makeHeaderPayload(spec, part);
+    payload = makeRankPayload(spec, world.globalRank(rank));
+  }
+
+  io::MpiFile file = co_await io::MpiFile::open(
+      sub, fsys, checkpointPath(spec, part), st.cfg.hints);
+
+  // Header round: group-local rank 0 contributes the master header.
+  {
+    prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+    const bool isRoot = sub.rank() == 0;
+    co_await file.writeAtAll(0, isRoot ? spec.headerBytes : 0,
+                             (isRoot && spec.carryPayload)
+                                 ? std::span<const std::byte>(header)
+                                 : std::span<const std::byte>());
+    op.stop(sched.now(), sub.rank() == 0 ? spec.headerBytes : 0);
+  }
+
+  // One collective round per field, committed in file order.
+  for (int f = 0; f < spec.numFields; ++f) {
+    prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+    co_await file.writeAtAll(
+        layout.fieldOffset(f, sub.rank()), spec.fieldBytesPerRank,
+        spec.carryPayload
+            ? slice(payload,
+                    static_cast<std::uint64_t>(f) * spec.fieldBytesPerRank,
+                    spec.fieldBytesPerRank)
+            : std::span<const std::byte>());
+    op.stop(sched.now(), spec.fieldBytesPerRank);
+  }
+
+  prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+  co_await file.close();
+  closeOp.stop(sched.now());
+}
+
+// ----------------------------------------------------------------- rbIO --
+
+Task<> rbIoWorker(Comm world, RunState& st, int writerRank) {
+  auto& sched = st.stack->sched;
+  auto& prof = st.stack->profile;
+  const auto& spec = st.spec;
+  const int rank = world.rank();
+
+  Message package;
+  package.size = spec.bytesPerRank();
+  package.meta = static_cast<std::uint64_t>(rank);
+  if (spec.carryPayload)
+    package.payload = std::make_shared<const std::vector<std::byte>>(
+        makeRankPayload(spec, world.globalRank(rank)));
+
+  // The worker's entire blocking I/O cost: one nonblocking send.
+  const double t0 = sched.now();
+  mpi::Request req =
+      co_await world.isend(writerRank, st.packageTag, std::move(package));
+  (void)req;  // fire and forget: the writer's receive loop bounds delivery
+  const double dt = sched.now() - t0;
+  st.isendTime[static_cast<std::size_t>(rank)] = dt;
+  prof.record(rank, prof::Op::kSend, t0, sched.now(), spec.bytesPerRank());
+}
+
+Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
+  auto& fsys = st.stack->fsys;
+  auto& sched = st.stack->sched;
+  auto& prof = st.stack->profile;
+  const auto& spec = st.spec;
+  const int rank = world.rank();
+  const int client = world.globalRank(rank);
+  const int group = rank / st.cfg.groupSize;
+  const int g = st.cfg.groupSize;
+  const bool independent = st.cfg.nf != 1;
+
+  // Gather the group's packages (the writer's own data needs no send).
+  std::map<int, std::shared_ptr<const std::vector<std::byte>>> packages;
+  if (spec.carryPayload)
+    packages[rank] = std::make_shared<const std::vector<std::byte>>(
+        makeRankPayload(spec, world.globalRank(rank)));
+  {
+    prof::ScopedOp op(prof, rank, prof::Op::kRecv, sched.now());
+    for (int i = 1; i < g; ++i) {
+      Message msg = co_await world.recv(mpi::kAnySource, st.packageTag);
+      if (spec.carryPayload)
+        packages[static_cast<int>(msg.meta)] = msg.payload;
+    }
+    op.stop(sched.now(),
+            static_cast<sim::Bytes>(g - 1) * spec.bytesPerRank());
+  }
+
+  // Reorder the group's blocks into field-major file order (a local copy).
+  const sim::Bytes groupBytes =
+      static_cast<sim::Bytes>(g) * spec.bytesPerRank();
+  co_await sched.delay(sim::transferTime(
+      groupBytes, world.machine().compute().memoryBandwidth));
+
+  // Assemble real file content when carrying payloads.
+  GroupFileLayout groupLayout(spec, g);
+  std::vector<std::byte> fileBytes;
+  if (spec.carryPayload && independent) {
+    fileBytes.resize(groupLayout.fileBytes());
+    auto header = makeHeaderPayload(spec, group);
+    std::copy(header.begin(), header.end(), fileBytes.begin());
+    for (int f = 0; f < spec.numFields; ++f)
+      for (int r = 0; r < g; ++r) {
+        const auto& pkg = *packages.at(group * g + r);
+        std::copy_n(pkg.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            static_cast<std::uint64_t>(f) *
+                            spec.fieldBytesPerRank),
+                    spec.fieldBytesPerRank,
+                    fileBytes.begin() +
+                        static_cast<std::ptrdiff_t>(
+                            groupLayout.fieldOffset(f, r)));
+      }
+  }
+
+  if (independent) {
+    // nf == ng: each writer owns one file; MPI_File_write_at semantics on
+    // MPI_COMM_SELF, realised directly on the filesystem. The writer's
+    // buffer lets it batch multiple fields per flush.
+    const std::string path = checkpointPath(spec, group);
+    prof::ScopedOp createOp(prof, rank, prof::Op::kCreate, sched.now());
+    auto fh = co_await fsys.create(client, path);
+    createOp.stop(sched.now());
+
+    const sim::Bytes total = groupLayout.fileBytes();
+    std::uint64_t cursor = 0;
+    while (cursor < total) {
+      const sim::Bytes chunk =
+          std::min<sim::Bytes>(st.cfg.writerBuffer, total - cursor);
+      prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+      co_await fsys.write(client, fh, cursor, chunk,
+                          spec.carryPayload
+                              ? slice(fileBytes, cursor, chunk)
+                              : std::span<const std::byte>());
+      op.stop(sched.now(), chunk);
+      cursor += chunk;
+    }
+
+    prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+    co_await fsys.close(client, fh);
+    closeOp.stop(sched.now());
+  } else {
+    // nf == 1: writers jointly commit one shared file with collective
+    // nonblocking writes; each field must land before the next starts.
+    GroupFileLayout globalLayout(spec, world.size());
+    io::MpiFile file = co_await io::MpiFile::open(
+        writerComm, fsys, checkpointPath(spec, 0), st.cfg.hints);
+    std::vector<std::byte> header;
+    if (spec.carryPayload) header = makeHeaderPayload(spec, 0);
+    {
+      const bool isRoot = writerComm.rank() == 0;
+      prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+      co_await file.writeAtAll(0, isRoot ? spec.headerBytes : 0,
+                               (isRoot && spec.carryPayload)
+                                   ? std::span<const std::byte>(header)
+                                   : std::span<const std::byte>());
+      op.stop(sched.now(), isRoot ? spec.headerBytes : 0);
+    }
+    std::vector<std::byte> section;
+    for (int f = 0; f < spec.numFields; ++f) {
+      const sim::Bytes sectionBytes =
+          static_cast<sim::Bytes>(g) * spec.fieldBytesPerRank;
+      if (spec.carryPayload) {
+        section.resize(sectionBytes);
+        for (int r = 0; r < g; ++r) {
+          const auto& pkg = *packages.at(group * g + r);
+          std::copy_n(
+              pkg.begin() + static_cast<std::ptrdiff_t>(
+                                static_cast<std::uint64_t>(f) *
+                                spec.fieldBytesPerRank),
+              spec.fieldBytesPerRank,
+              section.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::uint64_t>(r) *
+                                    spec.fieldBytesPerRank));
+        }
+      }
+      prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+      co_await file.writeAtAll(
+          globalLayout.fieldOffset(f, group * g), sectionBytes,
+          spec.carryPayload ? std::span<const std::byte>(section)
+                            : std::span<const std::byte>());
+      op.stop(sched.now(), sectionBytes);
+    }
+    prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+    co_await file.close();
+    closeOp.stop(sched.now());
+  }
+}
+
+// --------------------------------------------------------------- driver --
+
+Task<> rankProgram(Comm world, RunState& st) {
+  const int rank = world.rank();
+  const bool isWriter = st.cfg.kind == StrategyKind::kRbIo
+                            ? rank % st.cfg.groupSize == 0
+                            : false;
+  st.isWriter[static_cast<std::size_t>(rank)] = isWriter ? 1 : 0;
+
+  // rbIO nf=1 needs a writers-only communicator; form it outside the timed
+  // region (it is a one-time setup cost in the application).
+  Comm writerComm;
+  if (st.cfg.kind == StrategyKind::kRbIo)
+    writerComm = co_await world.split(isWriter ? 0 : 1, rank);
+
+  // Coordinated checkpoint: everyone starts together.
+  co_await world.barrier();
+  if (rank == 0) st.t0 = world.scheduler().now();
+  const double start = world.scheduler().now();
+
+  switch (st.cfg.kind) {
+    case StrategyKind::k1Pfpp:
+      co_await run1Pfpp(world, st);
+      break;
+    case StrategyKind::kCoIo:
+      co_await runCoIo(world, st);
+      break;
+    case StrategyKind::kRbIo:
+      if (isWriter)
+        co_await rbIoWriter(world, writerComm, st);
+      else
+        co_await rbIoWorker(world, st, (rank / st.cfg.groupSize) *
+                                           st.cfg.groupSize);
+      break;
+  }
+  st.perRank[static_cast<std::size_t>(rank)] =
+      world.scheduler().now() - start;
+}
+
+}  // namespace
+
+CheckpointResult runCheckpoint(SimStack& stack, const CheckpointSpec& spec,
+                               const StrategyConfig& cfg) {
+  const int np = stack.rt.numRanks();
+  RunState st = makeRunState(stack, spec, cfg);
+
+  stack.rt.spawnAll(
+      [&st](Comm world) -> Task<> { co_await rankProgram(world, st); });
+  stack.sched.run();
+  if (stack.sched.liveRoots() != 0)
+    throw std::runtime_error("checkpoint run deadlocked");
+
+  CheckpointResult result;
+  result.perRankTime = st.perRank;
+  result.makespan =
+      *std::max_element(st.perRank.begin(), st.perRank.end());
+  const int ng = cfg.kind == StrategyKind::kRbIo ? np / cfg.groupSize : 0;
+  result.numWriters = ng;
+  result.logicalBytes =
+      static_cast<sim::Bytes>(np) * spec.bytesPerRank() +
+      static_cast<sim::Bytes>(st.nf) * spec.headerBytes;
+  result.bandwidth =
+      static_cast<double>(result.logicalBytes) / result.makespan;
+  if (cfg.kind == StrategyKind::kRbIo) {
+    double workerMax = 0, writerMax = 0, isendMax = 0;
+    for (int r = 0; r < np; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (st.isWriter[i]) {
+        writerMax = std::max(writerMax, st.perRank[i]);
+      } else {
+        workerMax = std::max(workerMax, st.perRank[i]);
+        isendMax = std::max(isendMax, st.isendTime[i]);
+      }
+    }
+    result.workerMakespan = workerMax;
+    result.writerMakespan = writerMax;
+    result.maxIsendSeconds = isendMax;
+    const auto workerBytes =
+        static_cast<double>(np - ng) *
+        static_cast<double>(spec.bytesPerRank());
+    result.perceivedBandwidth = isendMax > 0 ? workerBytes / isendMax : 0;
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- campaign --
+
+namespace {
+
+struct CampaignState {
+  CampaignConfig cfg;
+  SimStack* stack = nullptr;
+  // One RunState per checkpoint generation (distinct step id and, for
+  // rbIO, a distinct package tag so generations never mix at the writer).
+  std::vector<std::unique_ptr<RunState>> generations;
+  std::vector<double> rankEnd;
+};
+
+Task<> campaignBlockingRank(Comm world, CampaignState& cs) {
+  auto& sched = world.scheduler();
+  co_await world.barrier();
+  const double t0 = sched.now();
+  int gen = 0;
+  for (int step = 1; step <= cs.cfg.steps; ++step) {
+    co_await sched.delay(cs.cfg.computeStepSeconds);
+    if (step % cs.cfg.checkpointEvery == 0) {
+      RunState& st = *cs.generations[static_cast<std::size_t>(gen++)];
+      if (cs.cfg.strategy.kind == StrategyKind::k1Pfpp)
+        co_await run1Pfpp(world, st);
+      else
+        co_await runCoIo(world, st);
+    }
+  }
+  cs.rankEnd[static_cast<std::size_t>(world.rank())] = sched.now() - t0;
+}
+
+Task<> campaignRbIoRank(Comm world, CampaignState& cs) {
+  auto& sched = world.scheduler();
+  const int rank = world.rank();
+  const int g = cs.cfg.strategy.groupSize;
+  const bool isWriter = rank % g == 0;
+  Comm writerComm = co_await world.split(isWriter ? 0 : 1, rank);
+  co_await world.barrier();
+  const double t0 = sched.now();
+
+  const int numCkpts = cs.cfg.steps / cs.cfg.checkpointEvery;
+  if (isWriter) {
+    // Dedicated I/O rank: drain one generation after another, concurrent
+    // with the workers' computation.
+    for (int k = 0; k < numCkpts; ++k)
+      co_await rbIoWriter(world, writerComm,
+                          *cs.generations[static_cast<std::size_t>(k)]);
+  } else {
+    int gen = 0;
+    for (int step = 1; step <= cs.cfg.steps; ++step) {
+      co_await sched.delay(cs.cfg.computeStepSeconds);
+      if (step % cs.cfg.checkpointEvery == 0) {
+        RunState& st = *cs.generations[static_cast<std::size_t>(gen++)];
+        co_await rbIoWorker(world, st, (rank / g) * g);
+      }
+    }
+  }
+  cs.rankEnd[static_cast<std::size_t>(rank)] = sched.now() - t0;
+}
+
+}  // namespace
+
+CampaignResult runCampaign(SimStack& stack, const CheckpointSpec& spec,
+                           const CampaignConfig& cfg) {
+  if (cfg.steps < 1 || cfg.checkpointEvery < 1)
+    throw std::invalid_argument("campaign needs positive steps and cadence");
+  const int np = stack.rt.numRanks();
+  const int numCkpts = cfg.steps / cfg.checkpointEvery;
+
+  CampaignState cs;
+  cs.cfg = cfg;
+  cs.stack = &stack;
+  cs.rankEnd.assign(static_cast<std::size_t>(np), 0.0);
+  for (int k = 0; k < numCkpts; ++k) {
+    CheckpointSpec genSpec = spec;
+    genSpec.step = k;
+    auto st = std::make_unique<RunState>(
+        makeRunState(stack, genSpec, cfg.strategy));
+    st->packageTag = kPackageTag + 1000 * (k + 1);
+    cs.generations.push_back(std::move(st));
+  }
+
+  stack.rt.spawnAll([&cs](Comm world) -> Task<> {
+    if (cs.cfg.strategy.kind == StrategyKind::kRbIo)
+      co_await campaignRbIoRank(world, cs);
+    else
+      co_await campaignBlockingRank(world, cs);
+  });
+  stack.sched.run();
+  if (stack.sched.liveRoots() != 0)
+    throw std::runtime_error("campaign deadlocked");
+
+  CampaignResult result;
+  result.totalSeconds =
+      *std::max_element(cs.rankEnd.begin(), cs.rankEnd.end());
+  result.computeSeconds = cfg.steps * cfg.computeStepSeconds;
+  result.ioOverheadSeconds = result.totalSeconds - result.computeSeconds;
+  result.checkpointsTaken = numCkpts;
+  return result;
+}
+
+}  // namespace bgckpt::iolib

@@ -1,0 +1,93 @@
+#include "machine/bgp.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bgckpt::machine {
+
+Machine::Machine(TorusShape shape, NodeMode mode, ComputeConfig compute,
+                 IoConfig io)
+    : shape_(shape), mode_(mode), compute_(compute), io_(io) {
+  if (shape_.x <= 0 || shape_.y <= 0 || shape_.z <= 0)
+    throw std::invalid_argument("torus dimensions must be positive");
+  if (numNodes() % io_.nodesPerPset != 0)
+    throw std::invalid_argument(
+        "node count must be a multiple of the pset size");
+}
+
+int Machine::nodeOfRank(int rank) const {
+  if (rank < 0 || rank >= numRanks())
+    throw std::out_of_range("rank out of range");
+  return rank / ranksPerNode();
+}
+
+NodeCoord Machine::coordOfNode(int node) const {
+  if (node < 0 || node >= numNodes())
+    throw std::out_of_range("node out of range");
+  NodeCoord c;
+  c.x = node % shape_.x;
+  c.y = (node / shape_.x) % shape_.y;
+  c.z = node / (shape_.x * shape_.y);
+  return c;
+}
+
+int Machine::nodeOfCoord(const NodeCoord& c) const {
+  if (c.x < 0 || c.x >= shape_.x || c.y < 0 || c.y >= shape_.y || c.z < 0 ||
+      c.z >= shape_.z)
+    throw std::out_of_range("coordinate out of range");
+  return c.x + shape_.x * (c.y + shape_.y * c.z);
+}
+
+int Machine::torusHops(int nodeA, int nodeB) const {
+  const NodeCoord a = coordOfNode(nodeA);
+  const NodeCoord b = coordOfNode(nodeB);
+  auto wrapDist = [](int p, int q, int dim) {
+    int d = std::abs(p - q);
+    return std::min(d, dim - d);
+  };
+  return wrapDist(a.x, b.x, shape_.x) + wrapDist(a.y, b.y, shape_.y) +
+         wrapDist(a.z, b.z, shape_.z);
+}
+
+Machine intrepidMachine(int numRanks) {
+  // VN mode: 4 ranks per node. Partition shapes follow ALCF conventions
+  // (midplane = 8x8x16 = 512 nodes; larger partitions stack midplanes).
+  if (numRanks < 4 || numRanks % 4 != 0)
+    throw std::invalid_argument("Intrepid VN-mode rank count must be 4*nodes");
+  const int nodes = numRanks / 4;
+  TorusShape shape;
+  switch (nodes) {
+    case 64:    shape = {4, 4, 4};    break;
+    case 128:   shape = {4, 4, 8};    break;
+    case 256:   shape = {4, 8, 8};    break;
+    case 512:   shape = {8, 8, 8};    break;   // one midplane (logical cube)
+    case 1024:  shape = {8, 8, 16};   break;
+    case 2048:  shape = {8, 16, 16};  break;
+    case 4096:  shape = {16, 16, 16}; break;   // 16K ranks
+    case 8192:  shape = {16, 16, 32}; break;   // 32K ranks
+    case 16384: shape = {16, 32, 32}; break;   // 64K ranks
+    case 32768: shape = {32, 32, 32}; break;   // 128K ranks
+    case 40960: shape = {40, 32, 32}; break;   // full Intrepid
+    default:
+      throw std::invalid_argument(
+          "unsupported Intrepid partition: " + std::to_string(nodes) +
+          " nodes");
+  }
+  return Machine(shape, NodeMode::kVn, ComputeConfig{}, IoConfig{});
+}
+
+std::string describe(const Machine& m) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%d ranks on %d nodes (%dx%dx%d torus, %s mode), %d psets, "
+                "%d file servers, %d DDN arrays",
+                m.numRanks(), m.numNodes(), m.shape().x, m.shape().y,
+                m.shape().z,
+                m.mode() == NodeMode::kVn
+                    ? "VN"
+                    : (m.mode() == NodeMode::kDual ? "DUAL" : "SMP"),
+                m.numPsets(), m.io().numFileServers, m.io().numDdnArrays);
+  return buf;
+}
+
+}  // namespace bgckpt::machine

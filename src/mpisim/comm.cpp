@@ -1,0 +1,313 @@
+#include "mpisim/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <tuple>
+
+namespace bgckpt::mpi {
+
+namespace detail {
+
+struct Group {
+  sim::Scheduler& sched;
+  const machine::Machine& mach;
+  net::TorusNetwork& torus;
+  net::CollectiveNetwork& coll;
+  std::shared_ptr<sim::RngStream> jitter;  // shared across subgroups
+  std::vector<int> globalRanks;
+  std::unique_ptr<sim::Barrier> barrier;
+
+  struct Waiter {
+    int src = kAnySource;
+    int tag = 0;
+    std::coroutine_handle<> handle;
+    Message msg;
+  };
+  struct Box {
+    std::deque<Message> queue;    // unmatched arrivals, in order
+    std::deque<Waiter*> waiters;  // suspended receivers, in order
+  };
+  std::vector<Box> boxes;
+
+  // Collective scratch state. MPI requires every rank to enter collectives
+  // in the same order, so one set of slots per group suffices; the last
+  // arrival finalises results before the barrier releases anyone.
+  int collArrived = 0;
+  double reduceSumAccum = 0.0;
+  double reduceMaxAccum = -std::numeric_limits<double>::infinity();
+  double reduceSumResult = 0.0;
+  double reduceMaxResult = 0.0;
+  std::vector<std::uint64_t> gatherAccum;
+  std::vector<std::uint64_t> gatherResult;
+  std::shared_ptr<const std::vector<std::uint64_t>> gatherShared;
+  Message bcastSlot;
+  std::vector<std::tuple<int, int, int>> splitEntries;  // (color, key, rank)
+  std::map<int, std::shared_ptr<Group>> splitGroups;
+  std::vector<int> splitLocalRank;
+
+  Group(sim::Scheduler& s, const machine::Machine& m, net::TorusNetwork& t,
+        net::CollectiveNetwork& c, std::shared_ptr<sim::RngStream> j,
+        std::vector<int> ranks)
+      : sched(s),
+        mach(m),
+        torus(t),
+        coll(c),
+        jitter(std::move(j)),
+        globalRanks(std::move(ranks)),
+        barrier(std::make_unique<sim::Barrier>(s, globalRanks.size())),
+        boxes(globalRanks.size()),
+        gatherAccum(globalRanks.size(), 0),
+        splitLocalRank(globalRanks.size(), -1) {}
+
+  int size() const { return static_cast<int>(globalRanks.size()); }
+
+  static bool matches(const Message& msg, int wantSrc, int wantTag) {
+    return (wantSrc == kAnySource || msg.source == wantSrc) &&
+           msg.tag == wantTag;
+  }
+
+  void deliver(int dst, Message msg) {
+    Box& box = boxes[static_cast<std::size_t>(dst)];
+    for (auto it = box.waiters.begin(); it != box.waiters.end(); ++it) {
+      if (matches(msg, (*it)->src, (*it)->tag)) {
+        Waiter* w = *it;
+        box.waiters.erase(it);
+        w->msg = std::move(msg);
+        sched.scheduleResume(0.0, w->handle);
+        return;
+      }
+    }
+    box.queue.push_back(std::move(msg));
+  }
+
+  /// Called by the last rank entering a collective, before the barrier
+  /// releases: snapshot accumulators into result slots and reset.
+  void finalizeCollective() {
+    reduceSumResult = reduceSumAccum;
+    reduceMaxResult = reduceMaxAccum;
+    gatherResult = gatherAccum;
+    gatherShared = std::make_shared<const std::vector<std::uint64_t>>(
+        gatherAccum);
+    reduceSumAccum = 0.0;
+    reduceMaxAccum = -std::numeric_limits<double>::infinity();
+    std::fill(gatherAccum.begin(), gatherAccum.end(), 0);
+    collArrived = 0;
+    if (!splitEntries.empty()) finalizeSplit();
+  }
+
+  void finalizeSplit() {
+    std::sort(splitEntries.begin(), splitEntries.end());  // color, key, rank
+    splitGroups.clear();
+    std::map<int, std::vector<int>> members;  // color -> old local ranks
+    for (const auto& [color, key, rank] : splitEntries)
+      members[color].push_back(rank);
+    for (auto& [color, ranks] : members) {
+      std::vector<int> globals;
+      globals.reserve(ranks.size());
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        splitLocalRank[static_cast<std::size_t>(ranks[i])] =
+            static_cast<int>(i);
+        globals.push_back(globalRanks[static_cast<std::size_t>(ranks[i])]);
+      }
+      splitGroups.emplace(color,
+                          std::make_shared<Group>(sched, mach, torus, coll,
+                                                  jitter, std::move(globals)));
+    }
+    splitEntries.clear();
+  }
+};
+
+namespace {
+
+sim::Task<> transferAndDeliver(std::shared_ptr<Group> g, int src, int dst,
+                               Message msg,
+                               std::shared_ptr<sim::Gate> gate) {
+  co_await g->torus.transfer(g->globalRanks[static_cast<std::size_t>(src)],
+                             g->globalRanks[static_cast<std::size_t>(dst)],
+                             msg.size);
+  g->deliver(dst, std::move(msg));
+  gate->fire();
+}
+
+struct RecvAwaiter {
+  Group& g;
+  int me;
+  Group::Waiter waiter;
+
+  bool await_ready() {
+    auto& box = g.boxes[static_cast<std::size_t>(me)];
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (Group::matches(*it, waiter.src, waiter.tag)) {
+        waiter.msg = std::move(*it);
+        box.queue.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    waiter.handle = h;
+    g.boxes[static_cast<std::size_t>(me)].waiters.push_back(&waiter);
+  }
+  Message await_resume() { return std::move(waiter.msg); }
+};
+
+}  // namespace
+
+}  // namespace detail
+
+using detail::Group;
+
+int Comm::size() const { return group_->size(); }
+
+int Comm::globalRank(int localRank) const {
+  return group_->globalRanks.at(static_cast<std::size_t>(localRank));
+}
+
+const machine::Machine& Comm::machine() const { return group_->mach; }
+
+sim::Scheduler& Comm::scheduler() const { return group_->sched; }
+
+sim::Task<Request> Comm::isend(int dst, int tag, Message msg) {
+  auto& g = *group_;
+  assert(dst >= 0 && dst < g.size());
+  msg.tag = tag;
+  msg.source = rank_;
+  // The call itself: MPI software overhead plus a heavy-tailed jitter
+  // (interrupts, allocation, retransmit slots). This is what a worker
+  // "perceives" when shipping its checkpoint block to a writer.
+  co_await g.sched.delay(g.mach.compute().mpiOverhead +
+                         g.jitter->lognormal(7e-6, 0.8));
+  auto gate = std::make_shared<sim::Gate>(g.sched);
+  g.sched.spawn(
+      detail::transferAndDeliver(group_, rank_, dst, std::move(msg), gate));
+  co_return Request(gate);
+}
+
+sim::Task<> Comm::send(int dst, int tag, Message msg) {
+  Request req = co_await isend(dst, tag, std::move(msg));
+  co_await wait(req);
+}
+
+sim::Task<Message> Comm::recv(int src, int tag) {
+  detail::RecvAwaiter awaiter{*group_, rank_, {src, tag, {}, {}}};
+  Message msg = co_await awaiter;
+  co_return msg;
+}
+
+sim::Task<> Comm::wait(Request req) {
+  if (!req.valid()) co_return;
+  co_await req.gate_->wait();
+}
+
+sim::Task<> Comm::waitAll(const std::vector<Request>& reqs) {
+  for (const auto& r : reqs) co_await wait(r);
+}
+
+sim::Task<> Comm::barrier() {
+  auto& g = *group_;
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  co_await g.sched.delay(g.coll.barrierCost(g.size()));
+}
+
+sim::Task<Message> Comm::bcast(int root, Message msg) {
+  auto& g = *group_;
+  if (rank_ == root) g.bcastSlot = msg;
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  Message result = g.bcastSlot;
+  co_await g.sched.delay(
+      g.coll.broadcastCost(g.size(), result.size));
+  co_return result;
+}
+
+sim::Task<double> Comm::allReduceSum(double value) {
+  auto& g = *group_;
+  g.reduceSumAccum += value;
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  const double result = g.reduceSumResult;
+  co_await g.sched.delay(g.coll.reduceCost(g.size(), sizeof(double)) +
+                         g.coll.broadcastCost(g.size(), sizeof(double)));
+  co_return result;
+}
+
+sim::Task<double> Comm::allReduceMax(double value) {
+  auto& g = *group_;
+  g.reduceMaxAccum = std::max(g.reduceMaxAccum, value);
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  const double result = g.reduceMaxResult;
+  co_await g.sched.delay(g.coll.reduceCost(g.size(), sizeof(double)) +
+                         g.coll.broadcastCost(g.size(), sizeof(double)));
+  co_return result;
+}
+
+sim::Task<std::vector<std::uint64_t>> Comm::allGatherU64(std::uint64_t value) {
+  auto& g = *group_;
+  g.gatherAccum[static_cast<std::size_t>(rank_)] = value;
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  std::vector<std::uint64_t> result = g.gatherResult;
+  co_await g.sched.delay(
+      g.coll.reduceCost(g.size(), sizeof(std::uint64_t)) +
+      g.coll.broadcastCost(
+          g.size(), sizeof(std::uint64_t) * g.gatherResult.size()));
+  co_return result;
+}
+
+sim::Task<std::shared_ptr<const std::vector<std::uint64_t>>>
+Comm::allGatherU64Shared(std::uint64_t value) {
+  auto& g = *group_;
+  g.gatherAccum[static_cast<std::size_t>(rank_)] = value;
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  auto result = g.gatherShared;
+  co_await g.sched.delay(
+      g.coll.reduceCost(g.size(), sizeof(std::uint64_t)) +
+      g.coll.broadcastCost(g.size(),
+                           sizeof(std::uint64_t) * g.gatherAccum.size()));
+  co_return result;
+}
+
+sim::Task<Comm> Comm::split(int color, int key) {
+  auto& g = *group_;
+  g.splitEntries.emplace_back(color, key, rank_);
+  if (++g.collArrived == g.size()) g.finalizeCollective();
+  co_await g.barrier->arriveAndWait();
+  auto sub = g.splitGroups.at(color);
+  const int newRank = g.splitLocalRank[static_cast<std::size_t>(rank_)];
+  co_await g.sched.delay(g.coll.barrierCost(g.size()));
+  co_return Comm(std::move(sub), newRank);
+}
+
+Runtime::Runtime(sim::Scheduler& sched, const machine::Machine& mach,
+                 net::TorusNetwork& torus, net::CollectiveNetwork& coll,
+                 std::uint64_t seed) {
+  std::vector<int> ranks(static_cast<std::size_t>(mach.numRanks()));
+  for (std::size_t i = 0; i < ranks.size(); ++i)
+    ranks[i] = static_cast<int>(i);
+  world_ = std::make_shared<Group>(
+      sched, mach, torus, coll,
+      std::make_shared<sim::RngStream>(seed, "mpi-isend"), std::move(ranks));
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::spawnAll(std::function<sim::Task<>(Comm)> program) {
+  // Pin the callable: rank coroutine frames reference its captures.
+  programs_.push_back(std::make_shared<std::function<sim::Task<>(Comm)>>(
+      std::move(program)));
+  auto& fn = *programs_.back();
+  for (int r = 0; r < world_->size(); ++r)
+    world_->sched.spawn(fn(Comm(world_, r)));
+}
+
+Comm Runtime::world(int rank) const { return Comm(world_, rank); }
+
+int Runtime::numRanks() const { return world_->size(); }
+
+}  // namespace bgckpt::mpi

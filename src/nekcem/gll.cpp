@@ -1,0 +1,86 @@
+#include "nekcem/gll.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bgckpt::nekcem {
+
+double legendre(int n, double x) {
+  if (n == 0) return 1.0;
+  if (n == 1) return x;
+  double pm = 1.0, p = x;
+  for (int k = 2; k <= n; ++k) {
+    const double pn = ((2.0 * k - 1.0) * x * p - (k - 1.0) * pm) / k;
+    pm = p;
+    p = pn;
+  }
+  return p;
+}
+
+double legendreDeriv(int n, double x) {
+  if (n == 0) return 0.0;
+  // (1-x^2) P_n'(x) = n (P_{n-1}(x) - x P_n(x)); endpoints via limits.
+  if (std::abs(std::abs(x) - 1.0) < 1e-14) {
+    const double sign = (x > 0 || n % 2 == 1) ? 1.0 : -1.0;
+    return sign * n * (n + 1) / 2.0;
+  }
+  return n * (legendre(n - 1, x) - x * legendre(n, x)) / (1.0 - x * x);
+}
+
+GllBasis::GllBasis(int order) : order_(order) {
+  if (order < 1) throw std::invalid_argument("GLL order must be >= 1");
+  const int np = order + 1;
+  nodes_.resize(static_cast<std::size_t>(np));
+  weights_.resize(static_cast<std::size_t>(np));
+  diff_.assign(static_cast<std::size_t>(np * np), 0.0);
+
+  // Interior GLL nodes are the roots of P_N'; find them by Newton iteration
+  // seeded with Chebyshev-Gauss-Lobatto points.
+  nodes_[0] = -1.0;
+  nodes_[static_cast<std::size_t>(order)] = 1.0;
+  for (int i = 1; i < order; ++i) {
+    double x = -std::cos(std::numbers::pi * i / order);
+    for (int it = 0; it < 100; ++it) {
+      // Newton on f(x) = P_N'(x); f'(x) = P_N''(x) from the Legendre ODE:
+      // (1-x^2) P'' - 2x P' + N(N+1) P = 0.
+      const double p = legendre(order, x);
+      const double dp = legendreDeriv(order, x);
+      const double ddp =
+          (2.0 * x * dp - order * (order + 1.0) * p) / (1.0 - x * x);
+      const double dx = dp / ddp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes_[static_cast<std::size_t>(i)] = x;
+  }
+
+  // Weights: w_i = 2 / (N (N+1) P_N(x_i)^2).
+  for (int i = 0; i < np; ++i) {
+    const double p = legendre(order, nodes_[static_cast<std::size_t>(i)]);
+    weights_[static_cast<std::size_t>(i)] =
+        2.0 / (order * (order + 1.0) * p * p);
+  }
+
+  // Differentiation matrix (standard GLL formula).
+  for (int i = 0; i < np; ++i) {
+    for (int j = 0; j < np; ++j) {
+      const double xi = nodes_[static_cast<std::size_t>(i)];
+      const double xj = nodes_[static_cast<std::size_t>(j)];
+      double d;
+      if (i != j) {
+        d = legendre(order, xi) / (legendre(order, xj) * (xi - xj));
+      } else if (i == 0) {
+        d = -order * (order + 1.0) / 4.0;
+      } else if (i == order) {
+        d = order * (order + 1.0) / 4.0;
+      } else {
+        d = 0.0;
+      }
+      diff_[static_cast<std::size_t>(i * np + j)] = d;
+    }
+  }
+}
+
+}  // namespace bgckpt::nekcem

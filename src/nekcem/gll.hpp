@@ -1,0 +1,52 @@
+// Gauss-Lobatto-Legendre quadrature and spectral differentiation.
+//
+// The SEDG discretisation rests on tensor products of 1-D Lagrange
+// interpolants through the GLL points: the GLL quadrature makes the mass
+// matrix diagonal (no inversion cost — Section III-A of the paper), and the
+// stiffness matrix is a tensor product of the 1-D differentiation matrix.
+#pragma once
+
+#include <vector>
+
+namespace bgckpt::nekcem {
+
+/// Nodes, weights and differentiation matrix for polynomial order N
+/// (N+1 points) on the reference interval [-1, 1].
+class GllBasis {
+ public:
+  explicit GllBasis(int order);
+
+  int order() const { return order_; }
+  int numPoints() const { return order_ + 1; }
+
+  /// GLL nodes in ascending order; endpoints are exactly -1 and 1.
+  const std::vector<double>& nodes() const { return nodes_; }
+
+  /// Quadrature weights (exact for polynomials of degree <= 2N-1).
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Dense (N+1)x(N+1) differentiation matrix, row-major:
+  /// (Du)_i = sum_j D[i*(N+1)+j] u_j differentiates exactly through
+  /// degree N.
+  const std::vector<double>& diffMatrix() const { return diff_; }
+
+  double node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  double weight(int i) const { return weights_[static_cast<std::size_t>(i)]; }
+  double diff(int i, int j) const {
+    return diff_[static_cast<std::size_t>(i * numPoints() + j)];
+  }
+
+ private:
+  int order_;
+  std::vector<double> nodes_;
+  std::vector<double> weights_;
+  std::vector<double> diff_;
+};
+
+/// Legendre polynomial P_n(x) (used by tests and the basis construction).
+double legendre(int n, double x);
+
+/// First derivative of P_n at x.
+double legendreDeriv(int n, double x);
+
+}  // namespace bgckpt::nekcem

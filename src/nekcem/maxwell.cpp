@@ -1,0 +1,360 @@
+#include "nekcem/maxwell.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+namespace bgckpt::nekcem {
+
+namespace {
+
+// Carpenter & Kennedy (1994) five-stage fourth-order low-storage RK.
+constexpr std::array<double, 5> kRkA = {
+    0.0, -567301805773.0 / 1357537059087.0, -2404267990393.0 / 2016746695238.0,
+    -3550918686646.0 / 2091501179385.0, -1275806237668.0 / 842570457699.0};
+constexpr std::array<double, 5> kRkB = {
+    1432997174477.0 / 9575080441755.0, 5161836677717.0 / 13612068292357.0,
+    1720146321549.0 / 2090206949498.0, 3134564353537.0 / 4481467310338.0,
+    2277821191437.0 / 14882151754819.0};
+
+}  // namespace
+
+void FieldSet::scaleAddScaled(double a, const FieldSet& other, double b) {
+  for (int f = 0; f < kNumFieldComponents; ++f) {
+    auto& mine = comp[static_cast<std::size_t>(f)];
+    const auto& theirs = other.comp[static_cast<std::size_t>(f)];
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = a * mine[i] + b * theirs[i];
+  }
+}
+
+MaxwellSolver::MaxwellSolver(BoxMesh mesh, int order)
+    : mesh_(mesh), basis_(order) {
+  const auto np = static_cast<std::size_t>(basis_.numPoints());
+  npe_ = np * np * np;
+  dof_ = npe_ * static_cast<std::size_t>(mesh_.numElements());
+  q_.resize(dof_);
+  rhs_.resize(dof_);
+  res_.resize(dof_);
+}
+
+std::array<double, 3> MaxwellSolver::nodeCoord(int e, int i, int j,
+                                               int k) const {
+  const auto origin = mesh_.elementOrigin(e);
+  auto map = [this](double lo, double h, int n) {
+    return lo + 0.5 * h * (basis_.node(n) + 1.0);
+  };
+  return {map(origin[0], mesh_.hx(), i), map(origin[1], mesh_.hy(), j),
+          map(origin[2], mesh_.hz(), k)};
+}
+
+void MaxwellSolver::setSolution(const AnalyticField& fn, double t) {
+  const int np = basis_.numPoints();
+  std::array<double, 6> v{};
+  for (int e = 0; e < mesh_.numElements(); ++e) {
+    for (int k = 0; k < np; ++k)
+      for (int j = 0; j < np; ++j)
+        for (int i = 0; i < np; ++i) {
+          const auto xyz = nodeCoord(e, i, j, k);
+          fn(xyz[0], xyz[1], xyz[2], t, v);
+          const std::size_t idx =
+              static_cast<std::size_t>(e) * npe_ +
+              static_cast<std::size_t>(i + np * (j + np * k));
+          for (int f = 0; f < 6; ++f)
+            q_.comp[static_cast<std::size_t>(f)][idx] =
+                v[static_cast<std::size_t>(f)];
+        }
+  }
+  time_ = t;
+}
+
+void MaxwellSolver::addVolumeTerms(const FieldSet& q, FieldSet& out) const {
+  const int np = basis_.numPoints();
+  const double rx = 2.0 / mesh_.hx();
+  const double ry = 2.0 / mesh_.hy();
+  const double rz = 2.0 / mesh_.hz();
+  const auto& D = basis_.diffMatrix();
+
+  // Per-element scratch for the six first derivatives we need.
+  std::vector<double> du(static_cast<std::size_t>(np));
+
+  auto deriv = [&](const std::vector<double>& u, std::size_t base, int dim,
+                   int i, int j, int k) {
+    // d/dxi via the 1-D differentiation matrix along `dim`.
+    double acc = 0.0;
+    const int n = dim == 0 ? i : (dim == 1 ? j : k);
+    for (int m = 0; m < np; ++m) {
+      const int ii = dim == 0 ? m : i;
+      const int jj = dim == 1 ? m : j;
+      const int kk = dim == 2 ? m : k;
+      acc += D[static_cast<std::size_t>(n * np + m)] *
+             u[base + static_cast<std::size_t>(ii + np * (jj + np * kk))];
+    }
+    return acc;
+  };
+
+  for (int e = 0; e < mesh_.numElements(); ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * npe_;
+    for (int k = 0; k < np; ++k)
+      for (int j = 0; j < np; ++j)
+        for (int i = 0; i < np; ++i) {
+          const std::size_t idx =
+              base + static_cast<std::size_t>(i + np * (j + np * k));
+          const auto& Ex = q.comp[kEx];
+          const auto& Ey = q.comp[kEy];
+          const auto& Ez = q.comp[kEz];
+          const auto& Hx = q.comp[kHx];
+          const auto& Hy = q.comp[kHy];
+          const auto& Hz = q.comp[kHz];
+          // curl H = (dHz/dy - dHy/dz, dHx/dz - dHz/dx, dHy/dx - dHx/dy)
+          const double dHz_dy = ry * deriv(Hz, base, 1, i, j, k);
+          const double dHy_dz = rz * deriv(Hy, base, 2, i, j, k);
+          const double dHx_dz = rz * deriv(Hx, base, 2, i, j, k);
+          const double dHz_dx = rx * deriv(Hz, base, 0, i, j, k);
+          const double dHy_dx = rx * deriv(Hy, base, 0, i, j, k);
+          const double dHx_dy = ry * deriv(Hx, base, 1, i, j, k);
+          const double dEz_dy = ry * deriv(Ez, base, 1, i, j, k);
+          const double dEy_dz = rz * deriv(Ey, base, 2, i, j, k);
+          const double dEx_dz = rz * deriv(Ex, base, 2, i, j, k);
+          const double dEz_dx = rx * deriv(Ez, base, 0, i, j, k);
+          const double dEy_dx = rx * deriv(Ey, base, 0, i, j, k);
+          const double dEx_dy = ry * deriv(Ex, base, 1, i, j, k);
+
+          out.comp[kEx][idx] += dHz_dy - dHy_dz;
+          out.comp[kEy][idx] += dHx_dz - dHz_dx;
+          out.comp[kEz][idx] += dHy_dx - dHx_dy;
+          out.comp[kHx][idx] += -(dEz_dy - dEy_dz);
+          out.comp[kHy][idx] += -(dEx_dz - dEz_dx);
+          out.comp[kHz][idx] += -(dEy_dx - dEx_dy);
+        }
+  }
+}
+
+void MaxwellSolver::addSurfaceTerms(const FieldSet& q, FieldSet& out) const {
+  const int np = basis_.numPoints();
+  const double w0 = basis_.weight(0);
+  // Face normal per face id and lift scale 2/(h_normal * w0).
+  const std::array<std::array<double, 3>, kNumFaces> normals = {
+      {{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}}};
+  const std::array<double, kNumFaces> lift = {
+      2.0 / (mesh_.hx() * w0), 2.0 / (mesh_.hx() * w0),
+      2.0 / (mesh_.hy() * w0), 2.0 / (mesh_.hy() * w0),
+      2.0 / (mesh_.hz() * w0), 2.0 / (mesh_.hz() * w0)};
+
+  auto nodeOnFace = [np](int face, int a, int b) -> std::array<int, 3> {
+    // (a, b) parameterise the face; return (i, j, k).
+    switch (face) {
+      case 0: return {0, a, b};
+      case 1: return {np - 1, a, b};
+      case 2: return {a, 0, b};
+      case 3: return {a, np - 1, b};
+      case 4: return {a, b, 0};
+      default: return {a, b, np - 1};
+    }
+  };
+
+  for (int e = 0; e < mesh_.numElements(); ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * npe_;
+    for (int face = 0; face < kNumFaces; ++face) {
+      const int nb = mesh_.neighbor(e, face);
+      const int opposite = face ^ 1;
+      const auto& n = normals[static_cast<std::size_t>(face)];
+      const std::size_t nbBase =
+          nb >= 0 ? static_cast<std::size_t>(nb) * npe_ : 0;
+      for (int b = 0; b < np; ++b)
+        for (int a = 0; a < np; ++a) {
+          const auto [i, j, k] = nodeOnFace(face, a, b);
+          const std::size_t idx =
+              base + static_cast<std::size_t>(i + np * (j + np * k));
+          std::array<double, 6> mine{}, theirs{};
+          for (int f = 0; f < 6; ++f)
+            mine[static_cast<std::size_t>(f)] =
+                q.comp[static_cast<std::size_t>(f)][idx];
+          if (nb >= 0) {
+            const auto [oi, oj, ok] = nodeOnFace(opposite, a, b);
+            const std::size_t nidx =
+                nbBase + static_cast<std::size_t>(oi + np * (oj + np * ok));
+            for (int f = 0; f < 6; ++f)
+              theirs[static_cast<std::size_t>(f)] =
+                  q.comp[static_cast<std::size_t>(f)][nidx];
+          } else {
+            // PEC wall: tangential E flips (model as E+ = -E-), H+ = H-.
+            for (int f = 0; f < 3; ++f)
+              theirs[static_cast<std::size_t>(f)] =
+                  -mine[static_cast<std::size_t>(f)];
+            for (int f = 3; f < 6; ++f)
+              theirs[static_cast<std::size_t>(f)] =
+                  mine[static_cast<std::size_t>(f)];
+          }
+          // Jumps (interior minus exterior) and upwind fluxes (H&W).
+          const double dEx = mine[0] - theirs[0];
+          const double dEy = mine[1] - theirs[1];
+          const double dEz = mine[2] - theirs[2];
+          const double dHx = mine[3] - theirs[3];
+          const double dHy = mine[4] - theirs[4];
+          const double dHz = mine[5] - theirs[5];
+          const double ndotdE = n[0] * dEx + n[1] * dEy + n[2] * dEz;
+          const double ndotdH = n[0] * dHx + n[1] * dHy + n[2] * dHz;
+          constexpr double alpha = 1.0;  // upwinding
+          const double fluxEx =
+              n[1] * dHz - n[2] * dHy + alpha * (dEx - ndotdE * n[0]);
+          const double fluxEy =
+              n[2] * dHx - n[0] * dHz + alpha * (dEy - ndotdE * n[1]);
+          const double fluxEz =
+              n[0] * dHy - n[1] * dHx + alpha * (dEz - ndotdE * n[2]);
+          const double fluxHx =
+              -n[1] * dEz + n[2] * dEy + alpha * (dHx - ndotdH * n[0]);
+          const double fluxHy =
+              -n[2] * dEx + n[0] * dEz + alpha * (dHy - ndotdH * n[1]);
+          const double fluxHz =
+              -n[0] * dEy + n[1] * dEx + alpha * (dHz - ndotdH * n[2]);
+          const double scale = -0.5 * lift[static_cast<std::size_t>(face)];
+          out.comp[kEx][idx] += scale * fluxEx;
+          out.comp[kEy][idx] += scale * fluxEy;
+          out.comp[kEz][idx] += scale * fluxEz;
+          out.comp[kHx][idx] += scale * fluxHx;
+          out.comp[kHy][idx] += scale * fluxHy;
+          out.comp[kHz][idx] += scale * fluxHz;
+        }
+    }
+  }
+}
+
+void MaxwellSolver::evalRhs(const FieldSet& q, FieldSet& out) const {
+  for (auto& c : out.comp) std::fill(c.begin(), c.end(), 0.0);
+  addVolumeTerms(q, out);
+  addSurfaceTerms(q, out);
+}
+
+void MaxwellSolver::step(double dt) {
+  for (int s = 0; s < 5; ++s) {
+    evalRhs(q_, rhs_);
+    res_.scaleAddScaled(kRkA[static_cast<std::size_t>(s)], rhs_, dt);
+    q_.scaleAddScaled(1.0, res_, kRkB[static_cast<std::size_t>(s)]);
+  }
+  time_ += dt;
+  ++steps_;
+}
+
+void MaxwellSolver::stepClassicalRk4(double dt) {
+  // q_{n+1} = q_n + dt/6 (k1 + 2 k2 + 2 k3 + k4). Full-storage reference.
+  FieldSet q0 = q_;
+  FieldSet accum = q_;  // will become q_{n+1}; start from q_n
+
+  evalRhs(q0, rhs_);  // k1
+  accum.scaleAddScaled(1.0, rhs_, dt / 6.0);
+  q_ = q0;
+  q_.scaleAddScaled(1.0, rhs_, dt / 2.0);
+
+  evalRhs(q_, rhs_);  // k2
+  accum.scaleAddScaled(1.0, rhs_, dt / 3.0);
+  q_ = q0;
+  q_.scaleAddScaled(1.0, rhs_, dt / 2.0);
+
+  evalRhs(q_, rhs_);  // k3
+  accum.scaleAddScaled(1.0, rhs_, dt / 3.0);
+  q_ = q0;
+  q_.scaleAddScaled(1.0, rhs_, dt);
+
+  evalRhs(q_, rhs_);  // k4
+  accum.scaleAddScaled(1.0, rhs_, dt / 6.0);
+
+  q_ = std::move(accum);
+  time_ += dt;
+  ++steps_;
+}
+
+double MaxwellSolver::stableDt() const {
+  const double hmin = std::min({mesh_.hx(), mesh_.hy(), mesh_.hz()});
+  const int n = basis_.order();
+  // CFL for nodal DG: dt ~ C * h / N^2 with unit wave speed; conservative C.
+  return 0.3 * hmin / (n * n);
+}
+
+double MaxwellSolver::energy() const {
+  const int np = basis_.numPoints();
+  const double jac = mesh_.hx() * mesh_.hy() * mesh_.hz() / 8.0;
+  double total = 0.0;
+  for (int e = 0; e < mesh_.numElements(); ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * npe_;
+    for (int k = 0; k < np; ++k)
+      for (int j = 0; j < np; ++j)
+        for (int i = 0; i < np; ++i) {
+          const std::size_t idx =
+              base + static_cast<std::size_t>(i + np * (j + np * k));
+          double sq = 0.0;
+          for (int f = 0; f < 6; ++f) {
+            const double v = q_.comp[static_cast<std::size_t>(f)][idx];
+            sq += v * v;
+          }
+          total += 0.5 * sq * basis_.weight(i) * basis_.weight(j) *
+                   basis_.weight(k) * jac;
+        }
+  }
+  return total;
+}
+
+double MaxwellSolver::maxError(const AnalyticField& fn) const {
+  const int np = basis_.numPoints();
+  std::array<double, 6> v{};
+  double err = 0.0;
+  for (int e = 0; e < mesh_.numElements(); ++e) {
+    const std::size_t base = static_cast<std::size_t>(e) * npe_;
+    for (int k = 0; k < np; ++k)
+      for (int j = 0; j < np; ++j)
+        for (int i = 0; i < np; ++i) {
+          const auto xyz = nodeCoord(e, i, j, k);
+          fn(xyz[0], xyz[1], xyz[2], time_, v);
+          const std::size_t idx =
+              base + static_cast<std::size_t>(i + np * (j + np * k));
+          for (int f = 0; f < 6; ++f)
+            err = std::max(err,
+                           std::abs(q_.comp[static_cast<std::size_t>(f)][idx] -
+                                    v[static_cast<std::size_t>(f)]));
+        }
+  }
+  return err;
+}
+
+std::vector<std::byte> MaxwellSolver::serializeComponent(int field) const {
+  const auto& c = q_.comp.at(static_cast<std::size_t>(field));
+  std::vector<std::byte> out(c.size() * sizeof(double));
+  std::memcpy(out.data(), c.data(), out.size());
+  return out;
+}
+
+void MaxwellSolver::deserializeComponent(int field,
+                                         const std::vector<std::byte>& bytes) {
+  auto& c = q_.comp.at(static_cast<std::size_t>(field));
+  assert(bytes.size() == c.size() * sizeof(double));
+  std::memcpy(c.data(), bytes.data(), bytes.size());
+}
+
+AnalyticField planeWaveX(double lx, int waves) {
+  const double kWave = 2.0 * std::numbers::pi * waves / lx;
+  return [kWave](double x, double, double, double t,
+                 std::array<double, 6>& out) {
+    const double v = std::cos(kWave * (x - t));
+    out = {0.0, v, 0.0, 0.0, 0.0, v};
+  };
+}
+
+AnalyticField cavityTmMode() {
+  constexpr double pi = std::numbers::pi;
+  const double omega = std::numbers::sqrt2 * pi;
+  return [omega](double x, double y, double, double t,
+                 std::array<double, 6>& out) {
+    const double sx = std::sin(pi * x), cx = std::cos(pi * x);
+    const double sy = std::sin(pi * y), cy = std::cos(pi * y);
+    out = {0.0,
+           0.0,
+           sx * sy * std::cos(omega * t),
+           -pi / omega * sx * cy * std::sin(omega * t),
+           pi / omega * cx * sy * std::sin(omega * t),
+           0.0};
+  };
+}
+
+}  // namespace bgckpt::nekcem

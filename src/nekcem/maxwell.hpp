@@ -1,0 +1,132 @@
+// Mini spectral-element discontinuous-Galerkin Maxwell solver.
+//
+// Solves the source-free 3-D Maxwell curl equations in nondimensional form
+// (epsilon = mu = c = 1):
+//
+//     dE/dt =  curl H - upwind flux terms
+//     dH/dt = -curl E - upwind flux terms
+//
+// on a structured hex mesh with nodal GLL tensor-product bases. Volume
+// terms are tensor applications of the 1-D differentiation matrix; face
+// coupling uses the standard upwind numerical flux (Hesthaven & Warburton),
+// and the diagonal GLL mass matrix turns the surface lift into a scalar per
+// face node. Time stepping is the five-stage fourth-order low-storage
+// Runge-Kutta scheme of Carpenter & Kennedy — the same pairing the paper's
+// production NekCEM uses.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nekcem/gll.hpp"
+#include "nekcem/mesh.hpp"
+
+namespace bgckpt::nekcem {
+
+/// Field component order, matching the checkpoint block order.
+enum Field : int { kEx = 0, kEy, kEz, kHx, kHy, kHz };
+inline constexpr int kNumFieldComponents = 6;
+
+/// All six components on all elements; per element the nodes are indexed
+/// i + np*(j + np*k) with i along x.
+struct FieldSet {
+  std::array<std::vector<double>, kNumFieldComponents> comp;
+
+  void resize(std::size_t dofPerComponent) {
+    for (auto& c : comp) c.assign(dofPerComponent, 0.0);
+  }
+  void scaleAddScaled(double a, const FieldSet& other, double b);
+};
+
+/// Analytic field: out[6] = (Ex,Ey,Ez,Hx,Hy,Hz) at (x, y, z, t).
+using AnalyticField =
+    std::function<void(double x, double y, double z, double t,
+                       std::array<double, 6>& out)>;
+
+class MaxwellSolver {
+ public:
+  MaxwellSolver(BoxMesh mesh, int order);
+
+  const BoxMesh& mesh() const { return mesh_; }
+  const GllBasis& basis() const { return basis_; }
+  int order() const { return basis_.order(); }
+  int pointsPerDim() const { return basis_.numPoints(); }
+  std::size_t dofPerComponent() const { return dof_; }
+  std::size_t gridPoints() const { return dof_; }
+  double time() const { return time_; }
+  std::uint64_t stepsTaken() const { return steps_; }
+
+  FieldSet& fields() { return q_; }
+  const FieldSet& fields() const { return q_; }
+
+  /// Physical coordinates of node (i,j,k) of element e.
+  std::array<double, 3> nodeCoord(int e, int i, int j, int k) const;
+
+  /// Overwrite the state with an analytic field at time t.
+  void setSolution(const AnalyticField& fn, double t);
+
+  /// Spatial operator: out = RHS(q).
+  void evalRhs(const FieldSet& q, FieldSet& out) const;
+
+  /// One LSRK4(5) step of size dt (NekCEM's production integrator).
+  void step(double dt);
+
+  /// One classical four-stage RK4 step (reference integrator; same formal
+  /// order, more storage — used to cross-check the low-storage scheme).
+  void stepClassicalRk4(double dt);
+
+  /// Advance by `n` steps of size dt.
+  void run(int n, double dt) {
+    for (int s = 0; s < n; ++s) step(dt);
+  }
+
+  /// Conservative timestep estimate (CFL over the GLL node spacing).
+  double stableDt() const;
+
+  /// Discrete electromagnetic energy 0.5 * integral(|E|^2 + |H|^2).
+  double energy() const;
+
+  /// Max-norm error of the current state against an analytic field at the
+  /// current time.
+  double maxError(const AnalyticField& fn) const;
+
+  /// Serialise one component to bytes (native doubles, element-major) —
+  /// the per-rank "field block" of the checkpoint format.
+  std::vector<std::byte> serializeComponent(int field) const;
+  void deserializeComponent(int field, const std::vector<std::byte>& bytes);
+
+  /// Restore `time`/`steps` (checkpoint metadata).
+  void setTime(double t, std::uint64_t steps) {
+    time_ = t;
+    steps_ = steps;
+  }
+
+ private:
+  void addVolumeTerms(const FieldSet& q, FieldSet& out) const;
+  void addSurfaceTerms(const FieldSet& q, FieldSet& out) const;
+
+  BoxMesh mesh_;
+  GllBasis basis_;
+  std::size_t dof_;       // nodes per component over all elements
+  std::size_t npe_;       // nodes per element
+  FieldSet q_;            // current state
+  mutable FieldSet rhs_;  // scratch
+  FieldSet res_;          // low-storage RK residual
+  double time_ = 0.0;
+  std::uint64_t steps_ = 0;
+};
+
+/// Periodic plane wave travelling along +x: Ey = Hz = cos(k(x - t)); an
+/// exact solution used for verification. `waves` is the number of periods
+/// across the domain length `lx`.
+AnalyticField planeWaveX(double lx, int waves = 1);
+
+/// Standing TM mode of a PEC cavity with unit cross-section in x-y
+/// (z-invariant): Ez = sin(pi x) sin(pi y) cos(w t) with w = sqrt(2) pi.
+/// Exact on a PEC box [0,1] x [0,1] x [0,Lz].
+AnalyticField cavityTmMode();
+
+}  // namespace bgckpt::nekcem

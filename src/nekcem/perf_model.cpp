@@ -1,0 +1,25 @@
+#include "nekcem/perf_model.hpp"
+
+namespace bgckpt::nekcem {
+
+double PerfModel::stepSeconds(double pointsPerRank, int order) const {
+  const double alpha = alphaN15 * (order + 1) / 16.0;
+  return alpha * (pointsPerRank + kappa);
+}
+
+double PerfModel::efficiency(double pointsPerRankA, int ranksA,
+                             double pointsPerRankB, int ranksB,
+                             int order) const {
+  // Ideal time at A from B's measured time, assuming fixed total work:
+  // total points n = pointsPerRank * ranks must match to compare; we
+  // compare speedups per point instead: eff = (tB / pointsB) / (tA /
+  // pointsA) -- the per-point throughput ratio, which reduces to the
+  // standard strong-scaling efficiency when n is fixed.
+  const double perPointA = stepSeconds(pointsPerRankA, order) / pointsPerRankA;
+  const double perPointB = stepSeconds(pointsPerRankB, order) / pointsPerRankB;
+  (void)ranksA;
+  (void)ranksB;
+  return perPointB / perPointA;
+}
+
+}  // namespace bgckpt::nekcem

@@ -1,0 +1,52 @@
+// At-scale NekCEM compute-time model.
+//
+// The figure benches need the paper's compute-time denominator (Fig. 7's
+// T(computation) and Eq. 1's Tcomp) at 16K-64K ranks, where the mini solver
+// cannot run directly. This model is calibrated to Section III-A:
+//   * CPU time per step ~ 0.13 s on 131,072 ranks for E=273K, N=15
+//     (n = 1.1 billion grid points, n/P = 8530);
+//   * 75% strong-scaling efficiency at 131K ranks for n/P = 8530 against a
+//     16K-rank base with n/P = 68250.
+// The model is t_step(n/P) = alpha(N) * (n/P + kappa): a linear work term
+// plus a communication/latency floor kappa, with alpha scaling like the
+// tensor-operator cost (N+1).
+#pragma once
+
+#include <cstdint>
+
+namespace bgckpt::nekcem {
+
+class PerfModel {
+ public:
+  /// Grid points for E elements at order N.
+  static std::uint64_t gridPoints(std::uint64_t elements, int order) {
+    const auto np1 = static_cast<std::uint64_t>(order + 1);
+    return elements * np1 * np1 * np1;
+  }
+
+  /// Seconds per time step with `pointsPerRank` grid points per rank at
+  /// polynomial order N.
+  double stepSeconds(double pointsPerRank, int order = 15) const;
+
+  /// Seconds per step for a (E, N, P) configuration.
+  double stepSeconds(std::uint64_t elements, int order, int ranks) const {
+    return stepSeconds(static_cast<double>(gridPoints(elements, order)) /
+                           static_cast<double>(ranks),
+                       order);
+  }
+
+  /// Parallel efficiency of configuration (pointsA, ranksA) against a base
+  /// (pointsB, ranksB): ratio of ideal to actual speedup.
+  double efficiency(double pointsPerRankA, int ranksA, double pointsPerRankB,
+                    int ranksB, int order = 15) const;
+
+  /// The paper's weak-scaling checkpoint runs: (E, P) = (68K, 16K),
+  /// (137K, 32K), (273K, 65K) at N=15 => n/P ~= 17000, step ~0.22 s.
+  double weakScalingStepSeconds() const { return stepSeconds(17000.0, 15); }
+
+  // Calibrated constants (see header comment).
+  double alphaN15 = 1.0885e-5;  // seconds per grid point per step at N=15
+  double kappa = 3414.0;        // communication floor, in grid points
+};
+
+}  // namespace bgckpt::nekcem

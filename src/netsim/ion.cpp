@@ -1,0 +1,26 @@
+#include "netsim/ion.hpp"
+
+namespace bgckpt::net {
+
+IonForwarding::IonForwarding(sim::Scheduler& sched,
+                             const machine::Machine& mach)
+    : sched_(sched), mach_(mach) {
+  uplink_.reserve(static_cast<std::size_t>(mach.numPsets()));
+  for (int p = 0; p < mach.numPsets(); ++p)
+    uplink_.push_back(std::make_unique<sim::Resource>(sched, 1));
+}
+
+sim::Task<> IonForwarding::forward(int rank, sim::Bytes bytes) {
+  const auto pset = static_cast<std::size_t>(mach_.psetOfRank(rank));
+  co_await uplink_[pset]->acquire();
+  {
+    sim::ScopedTokens link(*uplink_[pset], 1);
+    co_await sched_.delay(
+        mach_.io().forwardingOverhead +
+        sim::transferTime(bytes, mach_.io().ionUplinkBandwidth));
+  }
+  ++requests_;
+  bytes_ += bytes;
+}
+
+}  // namespace bgckpt::net

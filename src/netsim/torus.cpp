@@ -1,0 +1,93 @@
+#include "netsim/torus.hpp"
+
+#include <cmath>
+
+namespace bgckpt::net {
+
+using sim::Duration;
+
+TorusNetwork::TorusNetwork(sim::Scheduler& sched,
+                           const machine::Machine& mach)
+    : sched_(sched),
+      mach_(mach),
+      // Receive-side drain: a memory copy sharing the node's memory system
+      // with its other cores; use half the node memory bandwidth.
+      drainBandwidth_(mach.compute().memoryBandwidth / 2.0) {
+  injection_.reserve(static_cast<std::size_t>(mach.numNodes()));
+  ejection_.reserve(static_cast<std::size_t>(mach.numNodes()));
+  for (int n = 0; n < mach.numNodes(); ++n) {
+    injection_.push_back(std::make_unique<sim::Resource>(sched, 1));
+    ejection_.push_back(std::make_unique<sim::Resource>(sched, 1));
+  }
+}
+
+sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
+                                   sim::Bytes bytes) {
+  const auto& cc = mach_.compute();
+  const int srcNode = mach_.nodeOfRank(srcRank);
+  const int dstNode = mach_.nodeOfRank(dstRank);
+  const double start = sched_.now();
+
+  if (srcNode == dstNode) {
+    // Intra-node: a memory copy plus software overhead.
+    co_await sched_.delay(cc.mpiOverhead +
+                          sim::transferTime(bytes, cc.memoryBandwidth));
+  } else {
+    // NIC serialisation at the source.
+    co_await injection_[static_cast<std::size_t>(srcNode)]->acquire();
+    {
+      sim::ScopedTokens nic(*injection_[static_cast<std::size_t>(srcNode)], 1);
+      co_await sched_.delay(cc.mpiOverhead +
+                            sim::transferTime(bytes, cc.torusLinkBandwidth));
+    }
+    // Flight time across the fabric.
+    const int hops = mach_.torusHops(srcNode, dstNode);
+    co_await sched_.delay(static_cast<double>(hops) * cc.torusHopLatency);
+    // Receiver drain at the destination.
+    co_await ejection_[static_cast<std::size_t>(dstNode)]->acquire();
+    {
+      sim::ScopedTokens port(*ejection_[static_cast<std::size_t>(dstNode)], 1);
+      co_await sched_.delay(sim::transferTime(bytes, drainBandwidth_));
+    }
+  }
+
+  ++messages_;
+  bytes_ += bytes;
+  latency_.add(sched_.now() - start);
+}
+
+Duration TorusNetwork::uncontendedLatency(int srcRank, int dstRank,
+                                          sim::Bytes bytes) const {
+  const auto& cc = mach_.compute();
+  const int srcNode = mach_.nodeOfRank(srcRank);
+  const int dstNode = mach_.nodeOfRank(dstRank);
+  if (srcNode == dstNode)
+    return cc.mpiOverhead + sim::transferTime(bytes, cc.memoryBandwidth);
+  const int hops = mach_.torusHops(srcNode, dstNode);
+  return cc.mpiOverhead + sim::transferTime(bytes, cc.torusLinkBandwidth) +
+         static_cast<double>(hops) * cc.torusHopLatency +
+         sim::transferTime(bytes, drainBandwidth_);
+}
+
+Duration CollectiveNetwork::barrierCost(int parties) const {
+  const auto& cc = mach_.compute();
+  // The global-interrupt network completes a barrier in near-constant time;
+  // a small logarithmic term covers software arming.
+  const double depth = parties > 1 ? std::ceil(std::log2(parties)) : 0.0;
+  return cc.barrierLatency + 0.1e-6 * depth;
+}
+
+Duration CollectiveNetwork::broadcastCost(int parties,
+                                          sim::Bytes bytes) const {
+  const auto& cc = mach_.compute();
+  const double depth = parties > 1 ? std::ceil(std::log2(parties)) : 0.0;
+  return depth * cc.treeStageLatency +
+         sim::transferTime(bytes, cc.treeLinkBandwidth);
+}
+
+Duration CollectiveNetwork::reduceCost(int parties, sim::Bytes bytes) const {
+  // Same pipeline shape as broadcast on BG/P's combining tree.
+  return broadcastCost(parties, bytes);
+}
+
+}  // namespace bgckpt::net

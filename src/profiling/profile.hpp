@@ -1,0 +1,86 @@
+// Darshan-style I/O profiling.
+//
+// Strategies record per-rank operation intervals here; the figure benches
+// post-process them into the paper's plots: per-rank I/O-time scatters
+// (Figs. 9-11) and write-activity timelines (Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace bgckpt::prof {
+
+enum class Op : std::uint8_t {
+  kCreate,
+  kOpen,
+  kWrite,
+  kClose,
+  kSend,   // worker -> writer handoff (rbIO)
+  kRecv,   // writer side of the handoff
+  kOther,
+};
+
+const char* opName(Op op);
+
+struct OpRecord {
+  int rank = -1;
+  Op op = Op::kOther;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  sim::Bytes bytes = 0;
+
+  sim::Duration duration() const { return end - start; }
+};
+
+class IoProfile {
+ public:
+  void record(int rank, Op op, sim::SimTime start, sim::SimTime end,
+              sim::Bytes bytes = 0) {
+    records_.push_back({rank, op, start, end, bytes});
+  }
+  void reserve(std::size_t n) { records_.reserve(n); }
+  void clear() { records_.clear(); }
+
+  const std::vector<OpRecord>& records() const { return records_; }
+
+  /// Per-rank wall-clock I/O time: last end minus first start of that
+  /// rank's records (the per-processor times of Figs. 9-11). Ranks with no
+  /// records report 0.
+  std::vector<double> perRankEnvelope(int numRanks) const;
+
+  /// Per-rank sum of op durations (time actually blocked in I/O calls).
+  std::vector<double> perRankBusy(int numRanks) const;
+
+  /// Number of ranks with at least one record of `op` active in each time
+  /// bin of width `binWidth` over [0, horizon) — the Fig. 12 timeline.
+  std::vector<int> activityTimeline(Op op, double binWidth,
+                                    double horizon) const;
+
+  sim::Bytes totalBytes(Op op) const;
+  std::uint64_t opCount(Op op) const;
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+/// Convenience RAII timer: records one op from construction to stop().
+class ScopedOp {
+ public:
+  ScopedOp(IoProfile& profile, int rank, Op op, sim::SimTime now)
+      : profile_(profile), rank_(rank), op_(op), start_(now) {}
+
+  void stop(sim::SimTime now, sim::Bytes bytes = 0) {
+    profile_.record(rank_, op_, start_, now, bytes);
+  }
+
+ private:
+  IoProfile& profile_;
+  int rank_;
+  Op op_;
+  sim::SimTime start_;
+};
+
+}  // namespace bgckpt::prof

@@ -1,0 +1,79 @@
+#include "simcore/random.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace bgckpt::sim {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+RngStream::RngStream(std::uint64_t campaignSeed, std::string_view name,
+                     std::uint64_t index) {
+  std::uint64_t mix = campaignSeed ^ hashName(name) ^ (index * 0x9e3779b97f4a7c15ULL);
+  for (auto& s : s_) s = splitmix64(mix);
+}
+
+std::uint64_t RngStream::nextU64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double RngStream::uniform01() {
+  // 53-bit mantissa in [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t RngStream::uniformInt(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+  return static_cast<std::uint64_t>(
+      static_cast<double>(n) * uniform01());
+}
+
+double RngStream::exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+double RngStream::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 == 0.0);
+  const double u2 = uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double RngStream::lognormal(double median, double sigmaLog) {
+  assert(median > 0);
+  return median * std::exp(normal(0.0, sigmaLog));
+}
+
+bool RngStream::chance(double probability) {
+  return uniform01() < probability;
+}
+
+}  // namespace bgckpt::sim

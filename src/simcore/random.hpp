@@ -1,0 +1,69 @@
+// Deterministic random-number streams.
+//
+// Every stochastic model in the simulator (service-time jitter, background
+// noise, Isend overhead, ...) draws from a named `RngStream`. Streams are
+// derived from a single campaign seed plus a name, so independent subsystems
+// get decorrelated sequences and an entire campaign replays bit-identically
+// from one integer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bgckpt::sim {
+
+/// SplitMix64: used to expand seeds; good avalanche, tiny state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a stream name.
+constexpr std::uint64_t hashName(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** generator with convenience distributions.
+class RngStream {
+ public:
+  /// Derive a stream from (campaign seed, name, index).
+  RngStream(std::uint64_t campaignSeed, std::string_view name,
+            std::uint64_t index = 0);
+
+  std::uint64_t nextU64();
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Exponential with the given mean.
+  double exponential(double mean);
+
+  /// Normal (Box–Muller, no caching so the stream stays replayable
+  /// regardless of call interleaving).
+  double normal(double mean, double stddev);
+
+  /// Lognormal parameterised by the *target* median and sigma of log.
+  double lognormal(double median, double sigmaLog);
+
+  /// Bernoulli trial.
+  bool chance(double probability);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace bgckpt::sim

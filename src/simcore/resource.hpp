@@ -1,0 +1,127 @@
+// Counted resources with FIFO admission.
+//
+// A `Resource` models a server, link slot pool, or token bucket: it holds a
+// fixed number of tokens; `acquire(n)` suspends until `n` tokens can be
+// granted, strictly in arrival order (no small-request bypass — this is the
+// queueing discipline of a storage server or lock manager). `Mutex` is the
+// single-token special case. `ScopedTokens` releases on destruction.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "simcore/scheduler.hpp"
+
+namespace bgckpt::sim {
+
+class Resource {
+ public:
+  Resource(Scheduler& sched, std::int64_t tokens)
+      : sched_(sched), available_(tokens), total_(tokens) {
+    assert(tokens > 0);
+  }
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  std::int64_t available() const { return available_; }
+  std::int64_t total() const { return total_; }
+  std::size_t queueLength() const { return waiters_.size(); }
+
+  /// Awaitable acquisition of `n` tokens (FIFO).
+  auto acquire(std::int64_t n = 1) {
+    assert(n > 0 && n <= total_);
+    return Awaiter{*this, n, {}};
+  }
+
+  /// Return `n` tokens and admit as many queued waiters as now fit.
+  void release(std::int64_t n = 1) {
+    available_ += n;
+    assert(available_ <= total_);
+    while (!waiters_.empty() && waiters_.front()->amount <= available_) {
+      Waiter* w = waiters_.front();
+      waiters_.pop_front();
+      available_ -= w->amount;
+      sched_.scheduleResume(0.0, w->handle);
+    }
+  }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    std::int64_t amount = 0;
+  };
+
+  struct Awaiter {
+    Resource& res;
+    std::int64_t amount;
+    Waiter waiter;
+    bool await_ready() {
+      // FIFO: even if tokens are free, queued waiters go first.
+      if (res.waiters_.empty() && res.available_ >= amount) {
+        res.available_ -= amount;
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      waiter.handle = h;
+      waiter.amount = amount;
+      res.waiters_.push_back(&waiter);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  Scheduler& sched_;
+  std::int64_t available_;
+  std::int64_t total_;
+  std::deque<Waiter*> waiters_;
+};
+
+/// RAII helper: acquire then release on scope exit.
+///   auto hold = co_await ScopedTokens::take(res, n); ... (released at `}`)
+class ScopedTokens {
+ public:
+  ScopedTokens(Resource& res, std::int64_t n) : res_(&res), n_(n) {}
+  ScopedTokens(ScopedTokens&& o) noexcept : res_(o.res_), n_(o.n_) {
+    o.res_ = nullptr;
+  }
+  ScopedTokens& operator=(ScopedTokens&& o) noexcept {
+    if (this != &o) {
+      releaseNow();
+      res_ = o.res_;
+      n_ = o.n_;
+      o.res_ = nullptr;
+    }
+    return *this;
+  }
+  ScopedTokens(const ScopedTokens&) = delete;
+  ScopedTokens& operator=(const ScopedTokens&) = delete;
+  ~ScopedTokens() { releaseNow(); }
+
+  void releaseNow() {
+    if (res_) {
+      res_->release(n_);
+      res_ = nullptr;
+    }
+  }
+
+ private:
+  Resource* res_;
+  std::int64_t n_;
+};
+
+class Mutex {
+ public:
+  explicit Mutex(Scheduler& sched) : res_(sched, 1) {}
+  auto lock() { return res_.acquire(1); }
+  void unlock() { res_.release(1); }
+  Resource& resource() { return res_; }
+
+ private:
+  Resource res_;
+};
+
+}  // namespace bgckpt::sim

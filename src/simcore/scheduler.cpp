@@ -1,0 +1,92 @@
+#include "simcore/scheduler.hpp"
+
+#include <utility>
+
+namespace bgckpt::sim {
+
+// Detached driver coroutine that owns a root Task for its whole lifetime and
+// reports completion/failure back to the scheduler. It starts suspended so
+// that spawn() can enqueue its first resume through the event queue (spawn
+// order == first-run order); its frame self-destructs at final_suspend
+// (suspend_never), by which point the owned Task local has been destroyed.
+struct RootRunner {
+  struct promise_type {
+    RootRunner get_return_object() {
+      return RootRunner{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    std::suspend_never final_suspend() const noexcept { return {}; }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+
+  static RootRunner drive(Scheduler& sched, Task<> task) {
+    try {
+      co_await std::move(task);
+      sched.noteRootDone();
+    } catch (...) {
+      sched.noteRootFailed(std::current_exception());
+    }
+  }
+
+  std::coroutine_handle<> handle;
+};
+
+void Scheduler::scheduleResume(Duration delayTime, std::coroutine_handle<> h) {
+  queue_.push(Event{now_ + delayTime, nextSeq_++, h, nullptr});
+}
+
+void Scheduler::scheduleCall(Duration delayTime, std::function<void()> fn) {
+  queue_.push(Event{now_ + delayTime, nextSeq_++, nullptr, std::move(fn)});
+}
+
+void Scheduler::spawn(Task<> task) {
+  ++liveRoots_;
+  RootRunner runner = RootRunner::drive(*this, std::move(task));
+  scheduleResume(0.0, runner.handle);
+}
+
+std::uint64_t Scheduler::run() {
+  const std::uint64_t before = eventsProcessed_;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    dispatch(ev);
+    if (firstError_) break;
+  }
+  if (firstError_) {
+    auto ep = std::exchange(firstError_, nullptr);
+    std::rethrow_exception(ep);
+  }
+  return eventsProcessed_ - before;
+}
+
+std::uint64_t Scheduler::runUntil(SimTime untilTime) {
+  const std::uint64_t before = eventsProcessed_;
+  while (!queue_.empty() && queue_.top().time <= untilTime) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    dispatch(ev);
+    if (firstError_) break;
+  }
+  if (now_ < untilTime) now_ = untilTime;
+  if (firstError_) {
+    auto ep = std::exchange(firstError_, nullptr);
+    std::rethrow_exception(ep);
+  }
+  return eventsProcessed_ - before;
+}
+
+void Scheduler::dispatch(Event& ev) {
+  ++eventsProcessed_;
+  if (ev.handle) {
+    ev.handle.resume();
+  } else {
+    ev.callback();
+  }
+}
+
+}  // namespace bgckpt::sim

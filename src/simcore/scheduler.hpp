@@ -1,0 +1,108 @@
+// Discrete-event scheduler: the heart of the simulation.
+//
+// The scheduler owns a time-ordered event queue. Events are either plain
+// callbacks or coroutine resumptions. Simulated processes are `Task<>`
+// coroutines started with `spawn`; they advance simulated time by awaiting
+// `delay(dt)` and interact through the synchronisation primitives in
+// channel.hpp / resource.hpp, all of which route wakeups through this queue
+// so that execution order is deterministic: (time, insertion sequence).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "simcore/task.hpp"
+#include "simcore/units.hpp"
+
+namespace bgckpt::sim {
+
+/// Thrown out of Scheduler::run when a root task exited with an exception.
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Queue a coroutine resumption `delay` seconds from now.
+  void scheduleResume(Duration delay, std::coroutine_handle<> h);
+
+  /// Queue a callback `delay` seconds from now.
+  void scheduleCall(Duration delay, std::function<void()> fn);
+
+  /// Awaitable that suspends the current task for `dt` simulated seconds.
+  auto delay(Duration dt) {
+    struct Awaiter {
+      Scheduler& sched;
+      Duration dt;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sched.scheduleResume(dt, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    if (dt < 0) throw SimulationError("negative delay");
+    return Awaiter{*this, dt};
+  }
+
+  /// Start a root process. It begins running when `run()` is next called.
+  void spawn(Task<> task);
+
+  /// Process events until the queue is empty. Rethrows the first root-task
+  /// exception (after the queue drains or immediately on throw).
+  /// Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Process events with timestamps <= `untilTime`. Advances `now()` to
+  /// `untilTime` if the queue empties earlier.
+  std::uint64_t runUntil(SimTime untilTime);
+
+  /// Root tasks spawned but not yet finished. Nonzero after run() returns
+  /// means deadlock: someone is waiting on a wakeup that will never come.
+  std::size_t liveRoots() const { return liveRoots_; }
+
+  std::uint64_t eventsProcessed() const { return eventsProcessed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;    // exactly one of handle/callback set
+    std::function<void()> callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void dispatch(Event& ev);
+  void noteRootDone() { --liveRoots_; }
+  void noteRootFailed(std::exception_ptr ep) {
+    if (!firstError_) firstError_ = ep;
+    --liveRoots_;
+  }
+
+  friend struct RootRunner;
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t eventsProcessed_ = 0;
+  std::size_t liveRoots_ = 0;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace bgckpt::sim

@@ -1,0 +1,50 @@
+#include "simcore/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace bgckpt::sim {
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Sample::quantile(double q) const {
+  assert(!values_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const auto n = values_.size();
+  auto rank = static_cast<std::size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return values_[rank];
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return 0.0;
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void FixedHistogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(frac * static_cast<double>(counts_.size()));
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<std::int64_t>(counts_.size()))
+    idx = static_cast<std::int64_t>(counts_.size()) - 1;
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double FixedHistogram::binLow(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+}  // namespace bgckpt::sim

@@ -1,0 +1,89 @@
+// Streaming statistics used throughout the models and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bgckpt::sim {
+
+/// Welford accumulator: count, mean, variance, min, max in O(1) space.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 1e300;
+  double max_ = -1e300;
+};
+
+/// Exact order statistics over a retained sample vector.
+class Sample {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// q in [0, 1]; nearest-rank quantile. 0.5 is the median.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double min() const { return quantile(0.0); }
+  double max() const { return quantile(1.0); }
+  double mean() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins. Used for I/O-time distribution figures.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t binCount(std::size_t i) const { return counts_[i]; }
+  double binLow(std::size_t i) const;
+  double binHigh(std::size_t i) const { return binLow(i + 1); }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bgckpt::sim

@@ -1,0 +1,122 @@
+// Higher-level synchronisation built on the scheduler: one-shot gates,
+// cyclic barriers, and wait groups (fork/join counters).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <vector>
+
+#include "simcore/scheduler.hpp"
+
+namespace bgckpt::sim {
+
+/// One-shot event: waiters suspend until `fire()`; waits after firing
+/// complete immediately. Cannot be reset.
+class Gate {
+ public:
+  explicit Gate(Scheduler& sched) : sched_(sched) {}
+  Gate(const Gate&) = delete;
+  Gate& operator=(const Gate&) = delete;
+
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    for (auto h : waiters_) sched_.scheduleResume(0.0, h);
+    waiters_.clear();
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Gate& gate;
+      bool await_ready() const { return gate.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        gate.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  Scheduler& sched_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Cyclic barrier for `parties` processes. The last arrival releases all and
+/// the barrier resets for the next round.
+class Barrier {
+ public:
+  Barrier(Scheduler& sched, std::size_t parties)
+      : sched_(sched), parties_(parties) {
+    assert(parties > 0);
+  }
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  std::size_t parties() const { return parties_; }
+  std::size_t arrived() const { return waiters_.size(); }
+
+  auto arriveAndWait() {
+    struct Awaiter {
+      Barrier& bar;
+      bool await_ready() {
+        // The final arrival does not suspend; it releases everyone before
+        // proceeding, which also resets the barrier for the next round.
+        if (bar.waiters_.size() + 1 == bar.parties_) {
+          bar.releaseAll();
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        bar.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  void releaseAll() {
+    for (auto h : waiters_) sched_.scheduleResume(0.0, h);
+    waiters_.clear();
+  }
+
+  Scheduler& sched_;
+  std::size_t parties_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Fork/join counter: `add()` before spawning work, `done()` when each piece
+/// finishes, `wait()` suspends until the count returns to zero.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Scheduler& sched) : gate_(sched) {}
+
+  void add(std::size_t n = 1) {
+    assert(!gate_.fired() && "WaitGroup reused after completion");
+    count_ += n;
+  }
+
+  void done() {
+    assert(count_ > 0);
+    if (--count_ == 0) gate_.fire();
+  }
+
+  auto wait() {
+    if (count_ == 0) gate_.fire();
+    return gate_.wait();
+  }
+
+  std::size_t pending() const { return count_; }
+
+ private:
+  Gate gate_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace bgckpt::sim

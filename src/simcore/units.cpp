@@ -1,0 +1,46 @@
+#include "simcore/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace bgckpt::sim {
+namespace {
+
+std::string formatScaled(double value, double base,
+                         const std::array<const char*, 5>& suffixes) {
+  std::size_t idx = 0;
+  while (std::abs(value) >= base && idx + 1 < suffixes.size()) {
+    value /= base;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+  return buf;
+}
+
+}  // namespace
+
+std::string formatBytes(Bytes bytes) {
+  return formatScaled(static_cast<double>(bytes), 1024.0,
+                      {"B", "KiB", "MiB", "GiB", "TiB"});
+}
+
+std::string formatBandwidth(Bandwidth rate) {
+  return formatScaled(rate, 1000.0,
+                      {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"});
+}
+
+std::string formatDuration(Duration seconds) {
+  char buf[64];
+  if (seconds >= 1.0 || seconds == 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace bgckpt::sim

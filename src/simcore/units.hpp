@@ -1,0 +1,54 @@
+// Units and quantity helpers shared across the simulation stack.
+//
+// Simulated time is a double in seconds; data sizes are unsigned byte
+// counts; bandwidths are bytes per second. Helper constants and formatting
+// keep machine descriptions readable (e.g. `425 * MB / sec` for a torus
+// link) and bench output compact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bgckpt::sim {
+
+/// Simulated time, in seconds since the start of the run.
+using SimTime = double;
+
+/// A span of simulated time, in seconds.
+using Duration = double;
+
+/// Data size in bytes.
+using Bytes = std::uint64_t;
+
+/// Data rate in bytes per second.
+using Bandwidth = double;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+inline constexpr Bytes TiB = 1024 * GiB;
+
+// Decimal units: vendor link/disk speeds are quoted in powers of ten.
+inline constexpr Bytes KB = 1000;
+inline constexpr Bytes MB = 1000 * KB;
+inline constexpr Bytes GB = 1000 * MB;
+inline constexpr Bytes TB = 1000 * GB;
+
+inline constexpr Duration kMicrosecond = 1e-6;
+inline constexpr Duration kMillisecond = 1e-3;
+
+/// Time to move `size` bytes at `rate` bytes/second.
+constexpr Duration transferTime(Bytes size, Bandwidth rate) {
+  return static_cast<double>(size) / rate;
+}
+
+/// Render a byte count with a binary-unit suffix ("1.50 GiB").
+std::string formatBytes(Bytes bytes);
+
+/// Render a bandwidth with a decimal-unit suffix ("13.2 GB/s").
+std::string formatBandwidth(Bandwidth rate);
+
+/// Render a duration adaptively ("12.3 s", "4.56 ms", "7.8 us").
+std::string formatDuration(Duration seconds);
+
+}  // namespace bgckpt::sim

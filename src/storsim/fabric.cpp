@@ -1,0 +1,106 @@
+#include "storsim/fabric.hpp"
+
+#include <algorithm>
+
+namespace bgckpt::stor {
+
+StorageFabric::StorageFabric(sim::Scheduler& sched,
+                             const machine::Machine& mach, std::uint64_t seed,
+                             NoiseModel noise, int serverConcurrency)
+    : sched_(sched), mach_(mach), rng_(seed, "storage-fabric"), noise_(noise) {
+  servers_.reserve(static_cast<std::size_t>(numServers()));
+  for (int s = 0; s < numServers(); ++s)
+    servers_.push_back(
+        std::make_unique<sim::Resource>(sched, serverConcurrency));
+  arrays_.resize(static_cast<std::size_t>(numArrays()));
+  for (auto& a : arrays_) a.port = std::make_unique<sim::Resource>(sched, 1);
+}
+
+sim::Task<> StorageFabric::write(int serverId, StreamId stream,
+                                 sim::Bytes bytes,
+                                 sim::Bandwidth effectiveServerBandwidth) {
+  co_await service(serverId, stream, bytes, effectiveServerBandwidth,
+                   mach_.io().ddnWriteBandwidth);
+  bytesWritten_ += bytes;
+}
+
+sim::Task<> StorageFabric::read(int serverId, StreamId stream,
+                                sim::Bytes bytes,
+                                sim::Bandwidth effectiveServerBandwidth) {
+  co_await service(serverId, stream, bytes, effectiveServerBandwidth,
+                   mach_.io().ddnWriteBandwidth * 1.28);  // 60/47 read:write
+}
+
+sim::Task<> StorageFabric::service(int serverId, StreamId stream,
+                                   sim::Bytes bytes,
+                                   sim::Bandwidth serverRate,
+                                   sim::Bandwidth arrayRate) {
+  const double start = sched_.now();
+  auto& server = *servers_.at(static_cast<std::size_t>(serverId));
+  auto& arr = arrays_[static_cast<std::size_t>(arrayOfServer(serverId))];
+
+  // Stage 1: the file server ingests and processes the request.
+  co_await server.acquire();
+  {
+    sim::ScopedTokens hold(server, 1);
+    const double factor = noiseFactor();
+    co_await sched_.delay(mach_.io().serverRequestOverhead * factor +
+                          sim::transferTime(bytes, serverRate) * factor);
+  }
+
+  // Stage 2: the backing DDN array commits the data. Eight servers share
+  // one array, so this is where cross-server interference appears.
+  co_await arr.port->acquire();
+  {
+    sim::ScopedTokens hold(*arr.port, 1);
+    co_await sched_.delay(seekPenalty(stream) +
+                          sim::transferTime(bytes, arrayRate));
+  }
+
+  ++requests_;
+  serviceTime_.add(sched_.now() - start);
+}
+
+double StorageFabric::noiseFactor() {
+  if (noise_.severeProbability > 0 && rng_.chance(noise_.severeProbability))
+    return rng_.lognormal(noise_.severeFactorMedian, noise_.severeFactorSigma);
+  if (noise_.slowProbability > 0 && rng_.chance(noise_.slowProbability))
+    return rng_.lognormal(noise_.slowFactorMedian, noise_.slowFactorSigma);
+  return 1.0;
+}
+
+sim::Duration StorageFabric::seekPenalty(StreamId stream) {
+  const double now = sched_.now();
+  // Periodic purge of streams idle for longer than the window.
+  if (now - lastPurge_ > kStreamWindow) {
+    std::erase_if(recentStreams_, [&](const auto& kv) {
+      return now - kv.second > kStreamWindow;
+    });
+    lastPurge_ = now;
+  }
+  recentStreams_[stream] = now;
+  const int active = activeStreams();
+  const int knee = mach_.io().ddnStreamKnee;
+  if (active <= knee) return 0.0;
+  // Every request pays a reposition cost proportional to how far past the
+  // knee the interleave factor is; the penalty saturates once the arms are
+  // seeking on effectively every request.
+  const double excess = std::min(
+      1.5, static_cast<double>(active - knee) / static_cast<double>(knee));
+  return mach_.io().ddnSeekPenalty * excess;
+}
+
+int StorageFabric::activeStreams() const {
+  const double now = sched_.now();
+  // The exact scan is O(streams); cache it briefly since thousands of
+  // requests can land at effectively the same simulated time.
+  if (now == activeCacheTime_) return activeCache_;
+  int active = 0;
+  for (const auto& [id, last] : recentStreams_)
+    if (now - last <= kStreamWindow) ++active;
+  activeCache_ = active;
+  activeCacheTime_ = now;
+  return active;
+}
+
+}  // namespace bgckpt::stor

@@ -1,0 +1,116 @@
+// Storage fabric: file servers backed by DDN disk arrays.
+//
+// Requests arrive at a file server (FIFO queue, fixed per-request overhead,
+// service at the server's sustained rate), then occupy the server's backing
+// DDN array. Two effects shape the figures:
+//
+//  * Background noise: the Intrepid filesystems were shared with Eureka and
+//    other clusters, and all the paper's runs happened "under normal load".
+//    Each server request can land in a noisy episode that inflates its
+//    service time (lognormal multiplier), producing the straggler outliers
+//    the paper blames for coIO's 64K-core drop (Fig. 10).
+//
+//  * Stream thrash: a DDN array interleaving many distinct write streams
+//    pays seek/reposition penalties once the stream count exceeds a knee,
+//    degrading the right-hand side of the file-count sweep (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/bgp.hpp"
+#include "simcore/random.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/scheduler.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/task.hpp"
+
+namespace bgckpt::stor {
+
+/// Identifies a logical stream (one file) for seek accounting.
+using StreamId = std::uint64_t;
+
+struct NoiseModel {
+  /// Probability that a server request hits a transient noisy episode.
+  double slowProbability = 0.01;
+  /// Lognormal multiplier applied to noisy requests.
+  double slowFactorMedian = 3.0;
+  double slowFactorSigma = 0.5;
+  /// Rare severe stalls (an overloaded server, a RAID rebuild, ...).
+  double severeProbability = 8e-6;
+  double severeFactorMedian = 60.0;
+  double severeFactorSigma = 0.3;
+
+  /// A noise model for an idle, dedicated system (used by tests).
+  static NoiseModel none() {
+    return NoiseModel{0.0, 1.0, 0.0, 0.0, 1.0, 0.0};
+  }
+};
+
+class StorageFabric {
+ public:
+  /// `serverConcurrency` is the number of client streams one file server
+  /// services in parallel; each in-flight request is serviced at the
+  /// caller-supplied per-stream rate, so a server's aggregate ceiling is
+  /// serverConcurrency * rate.
+  StorageFabric(sim::Scheduler& sched, const machine::Machine& mach,
+                std::uint64_t seed, NoiseModel noise = NoiseModel{},
+                int serverConcurrency = 1);
+
+  /// Service one write request of `bytes` for `stream` on `serverId`.
+  /// `effectiveServerBandwidth` lets the filesystem layer express its own
+  /// efficiency (GPFS software overhead) without changing the hardware.
+  sim::Task<> write(int serverId, StreamId stream, sim::Bytes bytes,
+                    sim::Bandwidth effectiveServerBandwidth);
+
+  /// Service one read request (reads use the read-side service rate).
+  sim::Task<> read(int serverId, StreamId stream, sim::Bytes bytes,
+                   sim::Bandwidth effectiveServerBandwidth);
+
+  int numServers() const { return mach_.io().numFileServers; }
+  int numArrays() const { return mach_.io().numDdnArrays; }
+  int arrayOfServer(int serverId) const {
+    return serverId % mach_.io().numDdnArrays;
+  }
+
+  sim::Bytes bytesWritten() const { return bytesWritten_; }
+  std::uint64_t requestsServed() const { return requests_; }
+  const sim::Accumulator& serviceTimeStats() const { return serviceTime_; }
+
+  /// Distinct streams recently active across the fabric (diagnostic hook).
+  int activeStreams() const;
+
+ private:
+  struct Array {
+    std::unique_ptr<sim::Resource> port;
+  };
+
+  sim::Task<> service(int serverId, StreamId stream, sim::Bytes bytes,
+                      sim::Bandwidth serverRate, sim::Bandwidth arrayRate);
+  double noiseFactor();
+  sim::Duration seekPenalty(StreamId stream);
+
+  static constexpr sim::Duration kStreamWindow = 2.0;  // seconds
+
+  sim::Scheduler& sched_;
+  const machine::Machine& mach_;
+  sim::RngStream rng_;
+  NoiseModel noise_;
+  std::vector<std::unique_ptr<sim::Resource>> servers_;
+  std::vector<Array> arrays_;
+  // stream -> last time it touched the fabric; stale entries purged lazily.
+  // The interleave pressure that matters on the shared DDN tier is the
+  // system-wide count of concurrent write streams, since every file's
+  // blocks stripe over all servers and arrays.
+  std::unordered_map<StreamId, sim::SimTime> recentStreams_;
+  sim::SimTime lastPurge_ = 0;
+  mutable int activeCache_ = 0;
+  mutable sim::SimTime activeCacheTime_ = -1.0;
+  sim::Bytes bytesWritten_ = 0;
+  std::uint64_t requests_ = 0;
+  sim::Accumulator serviceTime_;
+};
+
+}  // namespace bgckpt::stor

@@ -1,0 +1,52 @@
+#include "analysis/ascii.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::analysis {
+namespace {
+
+TEST(BarChart, RendersAllLabelsAndScales) {
+  auto out = barChart({{"rbIO", 13.5}, {"coIO", 9.0}, {"1PFPP", 0.1}}, "GB/s");
+  EXPECT_NE(out.find("rbIO"), std::string::npos);
+  EXPECT_NE(out.find("coIO"), std::string::npos);
+  EXPECT_NE(out.find("1PFPP"), std::string::npos);
+  EXPECT_NE(out.find("GB/s"), std::string::npos);
+  // Largest value renders the longest bar.
+  const auto rbLine = out.substr(0, out.find('\n'));
+  EXPECT_GT(std::count(rbLine.begin(), rbLine.end(), '#'), 30);
+}
+
+TEST(BarChart, LogScaleKeepsTinyValuesVisible) {
+  auto out = barChart({{"big", 1000.0}, {"small", 0.1}}, "s", 52, true);
+  // On a log scale the small bar still shows at least one mark.
+  const auto lines = out.substr(out.find("small"));
+  EXPECT_NE(lines.find('#'), std::string::npos);
+}
+
+TEST(BarChart, EmptyHandled) {
+  EXPECT_EQ(barChart({}, "x"), "(no data)\n");
+}
+
+TEST(Scatter, MarksPointsAndAxes) {
+  std::vector<double> xs{0, 1, 2, 3, 4};
+  std::vector<double> ys{0, 10, 5, 10, 0};
+  auto out = scatter(xs, ys, 40, 10, "rank", "seconds");
+  EXPECT_NE(out.find("seconds"), std::string::npos);
+  EXPECT_NE(out.find("rank"), std::string::npos);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(Scatter, MismatchedInputRejected) {
+  EXPECT_EQ(scatter({1.0}, {}, 10, 5), "(no data)\n");
+}
+
+TEST(ActivityStrip, ShadesByIntensity) {
+  auto out = activityStrip({"rbIO", "coIO"},
+                           {{0, 1, 5, 9, 9, 2}, {1, 1, 1, 1, 1, 1}}, 0.5);
+  EXPECT_NE(out.find("rbIO"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // peak intensity
+  EXPECT_NE(out.find("0.50 s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bgckpt::analysis

@@ -1,0 +1,75 @@
+#include "analysis/checkpoint_interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bgckpt::analysis {
+namespace {
+
+TEST(Young, ClosedForm) {
+  // Tc = 50 s, MTBF = 1 day: sqrt(2 * 50 * 86400) = 2939.4 s.
+  EXPECT_NEAR(youngInterval(50, 86400), 2939.4, 0.1);
+}
+
+TEST(Young, ScalesWithSqrtOfBothInputs) {
+  const double base = youngInterval(10, 10000);
+  EXPECT_NEAR(youngInterval(40, 10000), 2 * base, 1e-9);
+  EXPECT_NEAR(youngInterval(10, 40000), 2 * base, 1e-9);
+}
+
+TEST(Daly, CloseToYoungForSmallTc) {
+  // When Tc << MTBF the higher-order terms vanish.
+  const double young = youngInterval(1, 1e6);
+  const double daly = dalyInterval(1, 1e6);
+  EXPECT_NEAR(daly / young, 1.0, 0.01);
+}
+
+TEST(Daly, BelowYoungForLargeTc) {
+  // Daly subtracts Tc; with substantial Tc the optimum is earlier.
+  EXPECT_LT(dalyInterval(500, 10000), youngInterval(500, 10000));
+}
+
+TEST(Daly, FallbackRegimeReturnsMtbf) {
+  EXPECT_DOUBLE_EQ(dalyInterval(5000, 1000), 1000.0);
+}
+
+TEST(Efficiency, PerfectWorldApproachesOne) {
+  // Huge MTBF, negligible checkpoint cost.
+  EXPECT_GT(efficiency(3600, 0.001, 1, 1e12), 0.999);
+}
+
+TEST(Efficiency, OptimalIntervalBeatsNeighbours) {
+  const double tc = 60, tr = 120, mtbf = 43200;  // half-day MTBF
+  const double opt = dalyInterval(tc, mtbf);
+  const double effOpt = efficiency(opt, tc, tr, mtbf);
+  EXPECT_GT(effOpt, efficiency(opt / 4, tc, tr, mtbf));
+  EXPECT_GT(effOpt, efficiency(opt * 4, tc, tr, mtbf));
+}
+
+TEST(Efficiency, CheaperCheckpointsRaiseTheCeiling) {
+  const double mtbf = 43200, tr = 120;
+  // rbIO-class (5 s) vs 1PFPP-class (400 s) checkpoint cost, each at its
+  // own optimal cadence.
+  const double cheap =
+      efficiency(dalyInterval(5, mtbf), 5, tr, mtbf);
+  const double dear =
+      efficiency(dalyInterval(400, mtbf), 400, tr, mtbf);
+  EXPECT_GT(cheap, dear + 0.1);  // >10 points of machine efficiency
+}
+
+TEST(SystemMtbf, InverseInNodeCount) {
+  // 3-year node MTBF across 16K nodes: a failure every ~1.6 hours.
+  const double nodeMtbf = 3 * 365.0 * 86400;
+  EXPECT_NEAR(systemMtbf(16384, nodeMtbf), 5774, 5);
+  EXPECT_NEAR(systemMtbf(32768, nodeMtbf), 2887, 5);
+}
+
+TEST(ExpectedRuntime, InflatesWorkByEfficiency) {
+  const double t = expectedRuntime(1e6, 3600, 60, 120, 86400);
+  EXPECT_GT(t, 1e6);
+  EXPECT_NEAR(t, 1e6 / efficiency(3600, 60, 120, 86400), 1e-6);
+}
+
+}  // namespace
+}  // namespace bgckpt::analysis

@@ -1,0 +1,95 @@
+#include "analysis/models.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::analysis {
+namespace {
+
+TEST(Eq1, PaperArithmetic25x) {
+  // "For nc=20, Ratio_1pfpp is generally above 1000 while Ratio_rbIO is
+  // under 20. Thus ... approximately 25x improvement."
+  EXPECT_NEAR(productionImprovement(1000, 20, 20), 25.5, 0.01);
+}
+
+TEST(Eq1, NoImprovementWhenRatiosEqual) {
+  EXPECT_DOUBLE_EQ(productionImprovement(50, 50, 20), 1.0);
+}
+
+TEST(Eq1, HigherFrequencyAmplifiesIoDifference) {
+  // Checkpointing every step (nc=1) exposes the I/O gap more than every
+  // 100 steps.
+  EXPECT_GT(productionImprovement(1000, 20, 1),
+            productionImprovement(1000, 20, 100));
+}
+
+SpeedupParams paperishParams() {
+  SpeedupParams p;
+  p.np = 65536;
+  p.ng = 1024;
+  p.fileBytes = 156e9;
+  p.bwCoIo = 9e9;
+  p.bwRbIo = 13e9;
+  p.bwPerceived = 1091e12;  // Table I at 64K
+  p.lambda = 0.0;
+  return p;
+}
+
+TEST(Eq3, CoIoBlockedTimeIsAllRanksForWholeWrite) {
+  auto p = paperishParams();
+  EXPECT_DOUBLE_EQ(blockedTimeCoIo(p), 65536.0 * 156e9 / 9e9);
+}
+
+TEST(Eq4, RbIoBlockedTimeDominatedByWriters) {
+  auto p = paperishParams();
+  const double t = blockedTimeRbIo(p);
+  const double writerTerm = p.ng * p.fileBytes / p.bwRbIo;
+  EXPECT_NEAR(t, writerTerm, writerTerm * 0.01);  // workers contribute ~0
+}
+
+TEST(Eq7, LimitMatchesPaperFormula) {
+  auto p = paperishParams();
+  EXPECT_NEAR(speedupLimit(p), (65536.0 / 1024.0) * (13.0 / 9.0), 1e-9);
+}
+
+TEST(Eq2Vs6Vs7, AgreeInTheSmallLambdaRegime) {
+  auto p = paperishParams();
+  p.lambda = 1e-4;
+  const double exact = speedupExact(p);
+  const double approx = speedupApprox(p);
+  const double limit = speedupLimit(p);
+  EXPECT_NEAR(exact / approx, 1.0, 0.05);
+  EXPECT_NEAR(approx / limit, 1.0, 0.05);
+}
+
+TEST(Eq6, WorstCaseHalfBandwidthStillLarge) {
+  // "Even in the worst case where BW_rbIO is roughly half of BW_coIO, the
+  // speedup is still half of the ratio (i.e. ~30x)" at np:ng = 64:1.
+  SpeedupParams p;
+  p.np = 65536;
+  p.ng = 1024;
+  p.fileBytes = 156e9;
+  p.bwCoIo = 10e9;
+  p.bwRbIo = 5e9;
+  p.bwPerceived = 1e15;
+  p.lambda = 0.0;
+  EXPECT_NEAR(speedupApprox(p), 32.0, 0.5);
+}
+
+TEST(SpeedupModel, LambdaOneRemovesTheBenefit) {
+  // If workers block for the writer's entire write, rbIO degenerates to
+  // coIO-like blocking (modulo bandwidth differences).
+  auto p = paperishParams();
+  p.lambda = 1.0;
+  p.bwRbIo = p.bwCoIo;
+  EXPECT_NEAR(speedupExact(p), 1.0, 0.05);
+}
+
+TEST(SpeedupModel, MoreWritersLowerSpeedup) {
+  auto a = paperishParams();
+  auto b = paperishParams();
+  b.ng = 4096;
+  EXPECT_GT(speedupApprox(a), speedupApprox(b));
+}
+
+}  // namespace
+}  // namespace bgckpt::analysis

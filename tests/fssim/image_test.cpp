@@ -1,0 +1,147 @@
+#include "fssim/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace bgckpt::fs {
+namespace {
+
+std::vector<std::byte> bytesOf(const std::string& s) {
+  std::vector<std::byte> v(s.size());
+  std::memcpy(v.data(), s.data(), s.size());
+  return v;
+}
+
+TEST(FileImage, EmptyFile) {
+  FileImage img;
+  EXPECT_EQ(img.size(), 0u);
+  EXPECT_EQ(img.coveredBytes(), 0u);
+  EXPECT_TRUE(img.coversExactly(0));
+  EXPECT_FALSE(img.coversExactly(1));
+}
+
+TEST(FileImage, SingleWrite) {
+  FileImage img;
+  img.recordWrite({0, 100});
+  EXPECT_EQ(img.size(), 100u);
+  EXPECT_EQ(img.coveredBytes(), 100u);
+  EXPECT_TRUE(img.coversExactly(100));
+  EXPECT_EQ(img.writeCount(), 1u);
+}
+
+TEST(FileImage, DisjointWritesLeaveGap) {
+  FileImage img;
+  img.recordWrite({0, 10});
+  img.recordWrite({20, 10});
+  EXPECT_FALSE(img.coversExactly(30));
+  auto gaps = img.gaps(30);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (ByteRange{10, 10}));
+}
+
+TEST(FileImage, AdjacentWritesTile) {
+  FileImage img;
+  img.recordWrite({10, 10});
+  img.recordWrite({0, 10});
+  img.recordWrite({20, 5});
+  EXPECT_TRUE(img.coversExactly(25));
+  EXPECT_TRUE(img.gaps(25).empty());
+}
+
+TEST(FileImage, TrailingGapDetected) {
+  FileImage img;
+  img.recordWrite({0, 10});
+  auto gaps = img.gaps(25);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0], (ByteRange{10, 15}));
+}
+
+TEST(FileImage, OverlapCountedOnceInCoverage) {
+  FileImage img;
+  img.recordWrite({0, 20});
+  img.recordWrite({10, 20});
+  EXPECT_EQ(img.coveredBytes(), 30u);
+  EXPECT_EQ(img.bytesWritten(), 40u);  // raw bytes include the overlap
+}
+
+TEST(FileImage, ContentRoundTrip) {
+  FileImage img;
+  auto hello = bytesOf("hello");
+  auto world = bytesOf("world");
+  img.recordWrite({0, 5}, hello);
+  img.recordWrite({5, 5}, world);
+  auto back = img.readBytes({0, 10});
+  EXPECT_EQ(std::memcmp(back.data(), "helloworld", 10), 0);
+}
+
+TEST(FileImage, OverwriteReplacesMiddle) {
+  FileImage img;
+  auto base = bytesOf("aaaaaaaaaa");
+  auto mid = bytesOf("BBBB");
+  img.recordWrite({0, 10}, base);
+  img.recordWrite({3, 4}, mid);
+  auto back = img.readBytes({0, 10});
+  EXPECT_EQ(std::memcmp(back.data(), "aaaBBBBaaa", 10), 0);
+  EXPECT_EQ(img.coveredBytes(), 10u);
+}
+
+TEST(FileImage, OverwriteSplitKeepsBothRemnants) {
+  FileImage img;
+  auto base = bytesOf("0123456789");
+  img.recordWrite({0, 10}, base);
+  img.recordWrite({4, 2});  // size-only blanks out '45'
+  auto back = img.readBytes({0, 10});
+  EXPECT_EQ(std::memcmp(back.data(), "0123", 4), 0);
+  EXPECT_EQ(back[4], std::byte{0});
+  EXPECT_EQ(back[5], std::byte{0});
+  EXPECT_EQ(std::memcmp(back.data() + 6, "6789", 4), 0);
+}
+
+TEST(FileImage, ReadBeyondWrittenIsZero) {
+  FileImage img;
+  img.recordWrite({0, 4}, bytesOf("abcd"));
+  auto back = img.readBytes({2, 6});
+  EXPECT_EQ(std::memcmp(back.data(), "cd", 2), 0);
+  for (size_t i = 2; i < 6; ++i) EXPECT_EQ(back[i], std::byte{0});
+}
+
+TEST(FileImage, ContentHashDiscriminates) {
+  FileImage a, b, c;
+  a.recordWrite({0, 5}, bytesOf("hello"));
+  b.recordWrite({0, 5}, bytesOf("hello"));
+  c.recordWrite({0, 5}, bytesOf("hellO"));
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+  EXPECT_NE(a.contentHash(), c.contentHash());
+}
+
+TEST(FileImage, HashIndependentOfWriteOrder) {
+  FileImage a, b;
+  a.recordWrite({0, 5}, bytesOf("hello"));
+  a.recordWrite({5, 5}, bytesOf("world"));
+  b.recordWrite({5, 5}, bytesOf("world"));
+  b.recordWrite({0, 5}, bytesOf("hello"));
+  EXPECT_EQ(a.contentHash(), b.contentHash());
+}
+
+TEST(FileImage, ZeroLengthWriteIgnored) {
+  FileImage img;
+  img.recordWrite({5, 0});
+  EXPECT_EQ(img.writeCount(), 0u);
+  EXPECT_EQ(img.size(), 0u);
+}
+
+TEST(FsImage, TracksMultipleFiles) {
+  FsImage fsi;
+  fsi.file("a/x").recordWrite({0, 10});
+  fsi.file("a/y").recordWrite({0, 20});
+  EXPECT_EQ(fsi.fileCount(), 2u);
+  EXPECT_TRUE(fsi.exists("a/x"));
+  EXPECT_FALSE(fsi.exists("a/z"));
+  EXPECT_NE(fsi.find("a/y"), nullptr);
+  EXPECT_EQ(fsi.find("a/z"), nullptr);
+  EXPECT_EQ(fsi.totalBytesWritten(), 30u);
+}
+
+}  // namespace
+}  // namespace bgckpt::fs

@@ -1,0 +1,229 @@
+#include "fssim/parallel_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/sync.hpp"
+
+namespace bgckpt::fs {
+namespace {
+
+using machine::Machine;
+using machine::intrepidMachine;
+using sim::MiB;
+using sim::Scheduler;
+using sim::Task;
+
+// A small Intrepid-like stack with noise disabled for exact assertions.
+struct Stack {
+  Scheduler sched;
+  Machine mach = intrepidMachine(256);
+  net::IonForwarding ion{sched, mach};
+  stor::StorageFabric fabric;
+  ParallelFsSim fs;
+
+  explicit Stack(FsConfig cfg = gpfsConfig(), std::uint64_t seed = 1)
+      : fabric(sched, mach, seed, stor::NoiseModel::none(),
+               cfg.serverConcurrency),
+        fs(sched, mach, ion, fabric, seed, cfg) {}
+};
+
+TEST(ParallelFs, CreateWriteCloseBasics) {
+  Stack st;
+  auto body = [](Stack& s) -> Task<> {
+    auto fh = co_await s.fs.create(0, "out/ckpt0");
+    co_await s.fs.write(0, fh, 0, 10 * MiB);
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st));
+  st.sched.run();
+  EXPECT_EQ(st.sched.liveRoots(), 0u);
+  EXPECT_TRUE(st.fs.image().exists("out/ckpt0"));
+  EXPECT_EQ(st.fs.image().find("out/ckpt0")->size(), 10 * MiB);
+  EXPECT_TRUE(st.fs.image().find("out/ckpt0")->coversExactly(10 * MiB));
+  EXPECT_EQ(st.fs.createsIssued(), 1u);
+}
+
+TEST(ParallelFs, OpenNonexistentThrows) {
+  Stack st;
+  auto body = [](Stack& s) -> Task<> {
+    co_await s.fs.open(0, "missing");
+  };
+  st.sched.spawn(body(st));
+  EXPECT_THROW(st.sched.run(), std::runtime_error);
+}
+
+TEST(ParallelFs, SingleClientThroughputNearStreamBandwidth) {
+  Stack st;
+  const sim::Bytes total = 64 * MiB;
+  auto body = [](Stack& s, sim::Bytes n) -> Task<> {
+    auto fh = co_await s.fs.create(0, "f");
+    co_await s.fs.write(0, fh, 0, n);
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st, total));
+  st.sched.run();
+  const double bw = static_cast<double>(total) / st.sched.now();
+  // One synchronous stream lands somewhat below the per-stream service rate
+  // (uplink and per-request overheads add in), but within 2x of it.
+  EXPECT_LT(bw, st.fs.config().writeStreamBandwidth);
+  EXPECT_GT(bw, st.fs.config().writeStreamBandwidth / 2);
+}
+
+TEST(ParallelFs, ManyClientsAggregateTowardSystemCeiling) {
+  Stack st;
+  // 64 clients, distinct files, 16 MiB each.
+  auto body = [](Stack& s, int rank) -> Task<> {
+    auto fh = co_await s.fs.create(rank, "f" + std::to_string(rank));
+    co_await s.fs.write(rank, fh, 0, 16 * MiB);
+    co_await s.fs.close(rank, fh);
+  };
+  for (int r = 0; r < 64; ++r) st.sched.spawn(body(st, r));
+  st.sched.run();
+  const double bw = static_cast<double>(64 * 16 * MiB) / st.sched.now();
+  const double oneStream = st.fs.config().writeStreamBandwidth;
+  // 64 concurrent streams must beat one stream by a wide margin.
+  EXPECT_GT(bw, 20 * oneStream);
+}
+
+TEST(ParallelFs, LoneWriterPaysNoRevocations) {
+  Stack st;
+  auto body = [](Stack& s) -> Task<> {
+    auto fh = co_await s.fs.create(0, "f");
+    for (int i = 0; i < 8; ++i)
+      co_await s.fs.write(0, fh, static_cast<std::uint64_t>(i) * 4 * MiB,
+                          4 * MiB);
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st));
+  st.sched.run();
+  EXPECT_EQ(st.fs.totalRevocations(), 0u);
+}
+
+TEST(ParallelFs, AlignedSharedFileWritersPayFewRevocations) {
+  Stack st;
+  // 8 clients write disjoint block-aligned domains of one shared file.
+  auto writer = [](Stack& s, const FileHandle& fh, int rank) -> Task<> {
+    const std::uint64_t base = static_cast<std::uint64_t>(rank) * 16 * MiB;
+    for (int i = 0; i < 4; ++i)
+      co_await s.fs.write(rank, fh,
+                          base + static_cast<std::uint64_t>(i) * 4 * MiB,
+                          4 * MiB);
+  };
+  auto body = [](Stack& s, decltype(writer)& w) -> Task<> {
+    auto fh = co_await s.fs.create(0, "shared");
+    sim::WaitGroup wg(s.sched);
+    struct Runner {
+      static Task<> run(Stack& st2, decltype(writer)& w2, FileHandle fh2,
+                        int rank, sim::WaitGroup& wg2) {
+        co_await w2(st2, fh2, rank);
+        wg2.done();
+      }
+    };
+    for (int r = 0; r < 8; ++r) {
+      wg.add();
+      s.sched.spawn(Runner::run(s, w, fh, r, wg));
+    }
+    co_await wg.wait();
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st, writer));
+  st.sched.run();
+  EXPECT_EQ(st.sched.liveRoots(), 0u);
+  // At most one carve per client out of the optimistic whole-file token.
+  EXPECT_LE(st.fs.totalRevocations(), 8u);
+  EXPECT_TRUE(st.fs.image().find("shared")->coversExactly(8 * 16 * MiB));
+}
+
+TEST(ParallelFs, GpfsSlowerThanPvfsForSharedExtendingFile) {
+  // Two clients alternately extending one file: GPFS pays size-token
+  // bounces and token negotiations that PVFS does not.
+  auto runOnce = [](FsConfig cfg) {
+    Stack st(cfg);
+    auto writer = [](Stack& s, int rank, int nWrites) -> Task<> {
+      // Rank 0 creates; others join shortly after the create has landed.
+      if (rank != 0) co_await s.sched.delay(5e-3);
+      auto fh = rank == 0 ? co_await s.fs.create(0, "f")
+                          : co_await s.fs.open(rank, "f");
+      for (int i = 0; i < nWrites; ++i) {
+        const auto idx = static_cast<std::uint64_t>(i * 2 + rank);
+        co_await s.fs.write(rank, fh, idx * MiB, MiB);
+      }
+      co_await s.fs.close(rank, fh);
+    };
+    st.sched.spawn(writer(st, 0, 32));
+    st.sched.spawn(writer(st, 1, 32));
+    st.sched.run();
+    return st.sched.now();
+  };
+  // Compare with identical stream bandwidths so only locking differs.
+  FsConfig gpfs = gpfsConfig();
+  FsConfig pvfsLike = pvfsConfig();
+  pvfsLike.writeStreamBandwidth = gpfs.writeStreamBandwidth;
+  EXPECT_GT(runOnce(gpfs), runOnce(pvfsLike));
+}
+
+TEST(ParallelFs, DirectoryThrashMakesMassCreatesSuperSlow) {
+  FsConfig cfg = gpfsConfig();
+  cfg.dirThrashThreshold = 100;  // scaled-down cliff for a scaled-down test
+  auto createMany = [&](int nFiles) {
+    Stack st(cfg);
+    auto body = [](Stack& s, int idx) -> Task<> {
+      auto fh = co_await s.fs.create(idx, "dir/f" + std::to_string(idx));
+      co_await s.fs.close(idx, fh);
+    };
+    for (int i = 0; i < nFiles; ++i) st.sched.spawn(body(st, i));
+    st.sched.run();
+    return st.sched.now();
+  };
+  const double below = createMany(100);   // below the cliff
+  const double above = createMany(400);   // 300 creates pay thrash
+  // 4x the files must cost far more than 4x the time.
+  EXPECT_GT(above, 8 * below);
+}
+
+TEST(ParallelFs, ContentRecordedWhenPayloadGiven) {
+  Stack st;
+  auto body = [](Stack& s) -> Task<> {
+    std::vector<std::byte> data(1024);
+    for (size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::byte>(i & 0xff);
+    auto fh = co_await s.fs.create(0, "f");
+    co_await s.fs.write(0, fh, 0, data.size(), data);
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st));
+  st.sched.run();
+  auto back = st.fs.image().find("f")->readBytes({0, 1024});
+  for (size_t i = 0; i < back.size(); ++i)
+    ASSERT_EQ(back[i], static_cast<std::byte>(i & 0xff));
+}
+
+TEST(ParallelFs, ReadCompletesAndTakesTime) {
+  Stack st;
+  auto body = [](Stack& s) -> Task<> {
+    auto fh = co_await s.fs.create(0, "f");
+    co_await s.fs.write(0, fh, 0, 8 * MiB);
+    const double t0 = s.sched.now();
+    co_await s.fs.read(0, fh, 0, 8 * MiB);
+    EXPECT_GT(s.sched.now(), t0);
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st));
+  st.sched.run();
+  EXPECT_EQ(st.sched.liveRoots(), 0u);
+}
+
+TEST(ParallelFs, WriteOnNullHandleThrows) {
+  Stack st;
+  auto body = [](Stack& s) -> Task<> {
+    FileHandle fh;
+    co_await s.fs.write(0, fh, 0, 1);
+  };
+  st.sched.spawn(body(st));
+  EXPECT_THROW(st.sched.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bgckpt::fs

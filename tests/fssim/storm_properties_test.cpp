@@ -1,0 +1,133 @@
+// Parameterised properties of the filesystem engine: the directory-storm
+// nonlinearity, PVFS's flat creates, and read-path behaviour.
+#include <gtest/gtest.h>
+
+#include "fssim/parallel_fs.hpp"
+#include "simcore/sync.hpp"
+
+namespace bgckpt::fs {
+namespace {
+
+using machine::Machine;
+using machine::intrepidMachine;
+using sim::Scheduler;
+using sim::Task;
+
+struct Stack {
+  Scheduler sched;
+  Machine mach = intrepidMachine(256);
+  net::IonForwarding ion{sched, mach};
+  stor::StorageFabric fabric;
+  ParallelFsSim fs;
+
+  explicit Stack(FsConfig cfg)
+      : fabric(sched, mach, 1, stor::NoiseModel::none(),
+               cfg.serverConcurrency),
+        fs(sched, mach, ion, fabric, 1, cfg) {}
+};
+
+double createStorm(FsConfig cfg, int files) {
+  Stack st(cfg);
+  auto body = [](Stack& s, int idx) -> Task<> {
+    auto fh = co_await s.fs.create(idx % 256, "dir/f" + std::to_string(idx));
+    co_await s.fs.close(idx % 256, fh);
+  };
+  for (int i = 0; i < files; ++i) st.sched.spawn(body(st, i));
+  st.sched.run();
+  return st.sched.now();
+}
+
+class StormSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StormSweep, GpfsPerCreateCostMatchesQueueModel) {
+  // Below the cliff, cost = createCost * (1 + Q/scale) with Q draining
+  // from n-1 to 0: mean cost ~ createCost * (1 + n/(2*scale)). The
+  // measured per-create ratio between crowd sizes must match that closed
+  // form.
+  const int n = GetParam();
+  FsConfig cfg = gpfsConfig();
+  cfg.dirThrashThreshold = 1 << 30;  // isolate the linear term
+  const double tSmall = createStorm(cfg, n);
+  const double tLarge = createStorm(cfg, 4 * n);
+  const double measuredRatio = (tLarge / (4 * n)) / (tSmall / n);
+  const double modelRatio =
+      (1.0 + 4.0 * n / (2.0 * cfg.createQueueScale)) /
+      (1.0 + n / (2.0 * cfg.createQueueScale));
+  EXPECT_NEAR(measuredRatio, modelRatio, 0.25 * modelRatio)
+      << "n=" << n;
+  EXPECT_GT(measuredRatio, 1.0);  // crowding always costs something
+}
+
+INSTANTIATE_TEST_SUITE_P(CrowdSizes, StormSweep,
+                         ::testing::Values(100, 400, 1600));
+
+TEST(StormProperties, PvfsCreatesScaleLinearly) {
+  // PVFS's flat MDS: 4x the files take ~4x the time, per-create constant.
+  FsConfig cfg = pvfsConfig();
+  const double t1 = createStorm(cfg, 400);
+  const double t4 = createStorm(cfg, 1600);
+  EXPECT_NEAR(t4 / t1, 4.0, 0.5);
+}
+
+TEST(StormProperties, GpfsCliffDominatesPvfsAtScale) {
+  FsConfig gpfs = gpfsConfig();
+  gpfs.dirThrashThreshold = 500;
+  const double gpfsTime = createStorm(gpfs, 2000);
+  const double pvfsTime = createStorm(pvfsConfig(), 2000);
+  EXPECT_GT(gpfsTime, 5 * pvfsTime);
+}
+
+TEST(ReadPath, ReadScalesWithSizeAndBeatsWritePerStream) {
+  Stack st(gpfsConfig());
+  double tWrite = 0, tRead8 = 0, tRead32 = 0;
+  auto body = [](Stack& s, double& w, double& r8, double& r32) -> Task<> {
+    auto fh = co_await s.fs.create(0, "f");
+    double t0 = s.sched.now();
+    co_await s.fs.write(0, fh, 0, 32 * sim::MiB);
+    w = s.sched.now() - t0;
+    t0 = s.sched.now();
+    co_await s.fs.read(0, fh, 0, 8 * sim::MiB);
+    r8 = s.sched.now() - t0;
+    t0 = s.sched.now();
+    co_await s.fs.read(0, fh, 0, 32 * sim::MiB);
+    r32 = s.sched.now() - t0;
+    co_await s.fs.close(0, fh);
+  };
+  st.sched.spawn(body(st, tWrite, tRead8, tRead32));
+  st.sched.run();
+  EXPECT_GT(tRead32, 3.5 * tRead8);
+  EXPECT_LT(tRead32, 4.5 * tRead8);
+  // Per-stream read service rate (45 MB/s) beats write (40 MB/s).
+  EXPECT_LT(tRead32, tWrite);
+}
+
+TEST(ReadPath, ConcurrentReadersShareServers) {
+  Stack st(gpfsConfig());
+  sim::WaitGroup wg(st.sched);
+  auto setup = [](Stack& s, sim::WaitGroup& w) -> Task<> {
+    auto fh = co_await s.fs.create(0, "f");
+    co_await s.fs.write(0, fh, 0, 64 * sim::MiB);
+    co_await s.fs.close(0, fh);
+    w.done();
+  };
+  wg.add();
+  st.sched.spawn(setup(st, wg));
+  st.sched.run();
+  const double writeDone = st.sched.now();
+
+  auto reader = [](Stack& s, int rank) -> Task<> {
+    auto fh = co_await s.fs.open(rank, "f");
+    co_await s.fs.read(rank, fh, 0, 64 * sim::MiB);
+    co_await s.fs.close(rank, fh);
+  };
+  for (int r = 0; r < 8; ++r) st.sched.spawn(reader(st, r));
+  st.sched.run();
+  const double readElapsed = st.sched.now() - writeDone;
+  // Eight concurrent readers of the same 64 MiB must take far less than
+  // eight serial passes.
+  const double oneSerial = 64.0 * sim::MiB / 45e6;
+  EXPECT_LT(readElapsed, 4 * oneSerial);
+}
+
+}  // namespace
+}  // namespace bgckpt::fs

@@ -1,0 +1,129 @@
+#include "fssim/token.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::fs {
+namespace {
+
+TEST(RangeTokenManager, FirstClientGetsWholeFileFree) {
+  RangeTokenManager tm;
+  auto r = tm.acquire(1, {0, 10});
+  EXPECT_EQ(r.revocations, 0);
+  EXPECT_FALSE(r.alreadyHeld);
+  // Optimistic whole-file grant: client 1 now holds everything.
+  EXPECT_TRUE(tm.holds(1, {0, 10}));
+  EXPECT_TRUE(tm.holds(1, {1000, 2000}));
+}
+
+TEST(RangeTokenManager, ReacquireHeldRangeIsFree) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 10});
+  auto r = tm.acquire(1, {2, 5});
+  EXPECT_TRUE(r.alreadyHeld);
+  EXPECT_EQ(r.revocations, 0);
+}
+
+TEST(RangeTokenManager, ConflictRevokesAndCarves) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 10});  // whole file to client 1
+  auto r = tm.acquire(2, {5, 8});
+  EXPECT_EQ(r.revocations, 1);  // carved out of client 1's holding
+  EXPECT_TRUE(tm.holds(2, {5, 8}));
+  EXPECT_FALSE(tm.holds(1, {5, 8}));
+  // Client 1 keeps the remnants on both sides.
+  EXPECT_TRUE(tm.holds(1, {0, 5}));
+  EXPECT_TRUE(tm.holds(1, {8, 100}));
+}
+
+TEST(RangeTokenManager, NoRevocationForDisjointAfterCarve) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 4});
+  tm.acquire(2, {4, 8});  // one revocation: carve from 1's whole-file token
+  auto r = tm.acquire(2, {6, 8});
+  EXPECT_TRUE(r.alreadyHeld);
+  EXPECT_EQ(tm.totalRevocations(), 1u);
+}
+
+TEST(RangeTokenManager, MultipleHoldersAllRevoked) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 10});
+  tm.acquire(2, {10, 20});
+  tm.acquire(3, {20, 30});
+  // Client 4 wants a range overlapping all three.
+  auto r = tm.acquire(4, {5, 25});
+  EXPECT_EQ(r.revocations, 3);
+  EXPECT_TRUE(tm.holds(4, {5, 25}));
+  EXPECT_TRUE(tm.holds(1, {0, 5}));
+  EXPECT_TRUE(tm.holds(3, {25, 30}));
+}
+
+TEST(RangeTokenManager, AlignedDisjointWritersOnlyPayInitialCarves) {
+  // ROMIO's aligned file domains: after each aggregator has carved its
+  // domain once, steady-state writes are revocation-free.
+  RangeTokenManager tm;
+  constexpr int kAggregators = 16;
+  for (int c = 0; c < kAggregators; ++c)
+    tm.acquire(c, {static_cast<std::uint64_t>(c) * 100,
+                   static_cast<std::uint64_t>(c + 1) * 100});
+  const auto initial = tm.totalRevocations();
+  for (int round = 0; round < 10; ++round)
+    for (int c = 0; c < kAggregators; ++c) {
+      auto r = tm.acquire(c, {static_cast<std::uint64_t>(c) * 100 +
+                                  static_cast<std::uint64_t>(round) * 10,
+                              static_cast<std::uint64_t>(c) * 100 +
+                                  static_cast<std::uint64_t>(round) * 10 + 10});
+      EXPECT_TRUE(r.alreadyHeld);
+    }
+  EXPECT_EQ(tm.totalRevocations(), initial);
+}
+
+TEST(RangeTokenManager, UnalignedSharedBoundaryPingPongs) {
+  // Two clients alternately writing ranges that share a block: every
+  // acquisition revokes the other's token (false sharing).
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 5});
+  tm.acquire(2, {4, 9});  // overlaps block 4
+  std::uint64_t before = tm.totalRevocations();
+  for (int i = 0; i < 5; ++i) {
+    tm.acquire(1, {0, 5});
+    tm.acquire(2, {4, 9});
+  }
+  EXPECT_EQ(tm.totalRevocations(), before + 10);  // one per re-acquire
+}
+
+TEST(RangeTokenManager, ReleaseClientDropsHoldings) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 10});
+  tm.acquire(2, {10, 20});
+  tm.releaseClient(1);
+  EXPECT_FALSE(tm.holds(1, {0, 10}));
+  // Client 3 can now take client 1's old range without revocation.
+  auto r = tm.acquire(3, {0, 10});
+  EXPECT_EQ(r.revocations, 0);
+}
+
+TEST(RangeTokenManager, GapMeansNotHeld) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 10});
+  tm.acquire(2, {3, 6});
+  tm.releaseClient(2);  // hole at [3,6)
+  EXPECT_FALSE(tm.holds(1, {0, 10}));
+  EXPECT_TRUE(tm.holds(1, {0, 3}));
+  auto r = tm.acquire(1, {0, 10});
+  EXPECT_EQ(r.revocations, 0);  // filling a hole revokes nobody
+  EXPECT_TRUE(tm.holds(1, {0, 10}));
+}
+
+TEST(RangeTokenManager, AdjacentSameClientHoldingsMerge) {
+  RangeTokenManager tm;
+  tm.acquire(1, {0, 100});           // whole file
+  tm.acquire(2, {10, 20});
+  tm.acquire(1, {10, 15});
+  tm.acquire(1, {15, 20});
+  EXPECT_TRUE(tm.holds(1, {0, 100}));
+  // Merging keeps the holding map compact.
+  EXPECT_LE(tm.holdingCount(), 2u);
+}
+
+}  // namespace
+}  // namespace bgckpt::fs

@@ -1,0 +1,167 @@
+#include "iofmt/file_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+namespace bgckpt::iofmt {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("bgckpt_iofmt_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static FileSpec smallSpec(int ranks = 4, std::uint64_t blockBytes = 256) {
+    FileSpec spec;
+    spec.step = 1;
+    spec.ranksInFile = static_cast<std::uint32_t>(ranks);
+    spec.fieldBytesPerRank = blockBytes;
+    spec.fieldNames = {"Ex", "Ey", "Hz"};
+    return spec;
+  }
+
+  static std::vector<std::byte> pattern(int field, int rank,
+                                        std::uint64_t bytes) {
+    std::vector<std::byte> data(bytes);
+    for (std::uint64_t i = 0; i < bytes; ++i)
+      data[i] = static_cast<std::byte>((field * 31 + rank * 7 + i) & 0xFF);
+    return data;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, WriteReadRoundTrip) {
+  const auto spec = smallSpec();
+  {
+    CheckpointWriter writer(path("ckpt"), spec);
+    for (int f = 0; f < 3; ++f)
+      for (int r = 0; r < 4; ++r)
+        writer.writeBlock(f, r, pattern(f, r, spec.fieldBytesPerRank));
+    writer.close();
+  }
+  CheckpointReader reader(path("ckpt"));
+  EXPECT_EQ(reader.spec().fieldNames, spec.fieldNames);
+  EXPECT_EQ(reader.spec().ranksInFile, 4u);
+  for (int f = 0; f < 3; ++f)
+    for (int r = 0; r < 4; ++r)
+      EXPECT_EQ(reader.readBlock(f, r), pattern(f, r, spec.fieldBytesPerRank))
+          << "field " << f << " rank " << r;
+  EXPECT_TRUE(reader.verify());
+}
+
+TEST_F(FileIoTest, OutOfOrderAndConcurrentWritesVerify) {
+  const auto spec = smallSpec(8, 64 * 1024);
+  {
+    CheckpointWriter writer(path("ckpt"), spec);
+    // Blocks written from 4 threads in scrambled order.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&writer, &spec, t] {
+        for (int f = 2; f >= 0; --f)
+          for (int r = t; r < 8; r += 4)
+            writer.writeBlock(f, r, pattern(f, r, spec.fieldBytesPerRank));
+      });
+    }
+    for (auto& th : threads) th.join();
+    writer.close();
+  }
+  CheckpointReader reader(path("ckpt"));
+  EXPECT_TRUE(reader.verify());
+  EXPECT_EQ(reader.readBlock(1, 5), pattern(1, 5, spec.fieldBytesPerRank));
+}
+
+TEST_F(FileIoTest, MissingBlockFailsClose) {
+  CheckpointWriter writer(path("ckpt"), smallSpec());
+  writer.writeBlock(0, 0, pattern(0, 0, 256));
+  EXPECT_THROW(writer.close(), std::runtime_error);
+}
+
+TEST_F(FileIoTest, WrongBlockSizeRejected) {
+  CheckpointWriter writer(path("ckpt"), smallSpec());
+  std::vector<std::byte> tooSmall(100);
+  EXPECT_THROW(writer.writeBlock(0, 0, tooSmall), std::invalid_argument);
+}
+
+TEST_F(FileIoTest, CorruptedDataFailsVerify) {
+  const auto spec = smallSpec();
+  {
+    CheckpointWriter writer(path("ckpt"), spec);
+    for (int f = 0; f < 3; ++f)
+      for (int r = 0; r < 4; ++r)
+        writer.writeBlock(f, r, pattern(f, r, spec.fieldBytesPerRank));
+    writer.close();
+  }
+  {
+    // Flip one byte in the middle of field 1, rank 2.
+    int fd = ::open(path("ckpt").c_str(), O_WRONLY);
+    ASSERT_GE(fd, 0);
+    const auto off = static_cast<off_t>(spec.blockOffset(1, 2) + 17);
+    char b = 0x5A;
+    ASSERT_EQ(::pwrite(fd, &b, 1, off), 1);
+    ::close(fd);
+  }
+  CheckpointReader reader(path("ckpt"));
+  EXPECT_FALSE(reader.verify());
+}
+
+TEST_F(FileIoTest, ReadBlockOutOfRangeThrows) {
+  const auto spec = smallSpec();
+  {
+    CheckpointWriter writer(path("ckpt"), spec);
+    for (int f = 0; f < 3; ++f)
+      for (int r = 0; r < 4; ++r)
+        writer.writeBlock(f, r, pattern(f, r, spec.fieldBytesPerRank));
+    writer.close();
+  }
+  CheckpointReader reader(path("ckpt"));
+  EXPECT_THROW(reader.readBlock(3, 0), std::out_of_range);
+  EXPECT_THROW(reader.readBlock(0, 4), std::out_of_range);
+  EXPECT_THROW(reader.readBlock(-1, 0), std::out_of_range);
+}
+
+TEST_F(FileIoTest, OpenNonexistentThrows) {
+  EXPECT_THROW(CheckpointReader(path("missing")), std::runtime_error);
+}
+
+TEST_F(FileIoTest, SectionInfoExposesNames) {
+  const auto spec = smallSpec();
+  {
+    CheckpointWriter writer(path("ckpt"), spec);
+    for (int f = 0; f < 3; ++f)
+      for (int r = 0; r < 4; ++r)
+        writer.writeBlock(f, r, pattern(f, r, spec.fieldBytesPerRank));
+    writer.close();
+  }
+  CheckpointReader reader(path("ckpt"));
+  EXPECT_EQ(reader.sectionInfo(0).name, "Ex");
+  EXPECT_EQ(reader.sectionInfo(2).name, "Hz");
+  EXPECT_EQ(reader.sectionInfo(1).dataBytes, 4u * 256u);
+}
+
+TEST_F(FileIoTest, CreatesParentDirectories) {
+  const auto spec = smallSpec(1, 8);
+  CheckpointWriter writer(path("a/b/c/ckpt"), spec);
+  writer.writeBlock(0, 0, pattern(0, 0, 8));
+  writer.writeBlock(1, 0, pattern(1, 0, 8));
+  writer.writeBlock(2, 0, pattern(2, 0, 8));
+  writer.close();
+  EXPECT_TRUE(std::filesystem::exists(path("a/b/c/ckpt")));
+}
+
+}  // namespace
+}  // namespace bgckpt::iofmt

@@ -1,0 +1,113 @@
+#include "iolib/restart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iolib/strategies.hpp"
+
+namespace bgckpt::iolib {
+namespace {
+
+SimStackOptions quiet() {
+  SimStackOptions opt;
+  opt.noise = stor::NoiseModel::none();
+  return opt;
+}
+
+CheckpointSpec smallSpec() {
+  CheckpointSpec spec;
+  spec.fieldBytesPerRank = 64 * 1024;
+  spec.numFields = 6;
+  spec.headerBytes = 4096;
+  return spec;
+}
+
+TEST(Restart, RequiresExistingCheckpoint) {
+  SimStack stack(256, quiet());
+  EXPECT_THROW(runRestart(stack, smallSpec(), RestartConfig{}),
+               std::runtime_error);
+}
+
+TEST(Restart, GroupSizeMustDivide) {
+  SimStack stack(256, quiet());
+  RestartConfig cfg;
+  cfg.groupSize = 7;
+  EXPECT_THROW(runRestart(stack, smallSpec(), cfg), std::invalid_argument);
+}
+
+class RestartModes : public ::testing::TestWithParam<RestartMode> {};
+
+TEST_P(RestartModes, ReadsBackWhatRbIoWrote) {
+  SimStack stack(256, quiet());
+  const auto spec = smallSpec();
+  runCheckpoint(stack, spec, StrategyConfig::rbIo(64, true));
+  RestartConfig cfg;
+  cfg.mode = GetParam();
+  cfg.groupSize = 64;
+  const auto r = runRestart(stack, spec, cfg);
+  EXPECT_GT(r.makespan, 0);
+  EXPECT_GT(r.bandwidth, 0);
+  EXPECT_EQ(r.perRankTime.size(), 256u);
+  for (double t : r.perRankTime) EXPECT_GT(t, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RestartModes,
+                         ::testing::Values(RestartMode::kDirect,
+                                           RestartMode::kLeaderScatter),
+                         [](const auto& paramInfo) {
+                           return paramInfo.param == RestartMode::kDirect
+                                      ? "Direct"
+                                      : "LeaderScatter";
+                         });
+
+TEST(Restart, LeaderScatterIssuesFarFewerFsReads) {
+  const auto spec = smallSpec();
+  auto countReads = [&](RestartMode mode) {
+    SimStack stack(256, quiet());
+    runCheckpoint(stack, spec, StrategyConfig::rbIo(64, true));
+    const auto before = stack.fabric.requestsServed();
+    RestartConfig cfg;
+    cfg.mode = mode;
+    cfg.groupSize = 64;
+    runRestart(stack, spec, cfg);
+    return stack.fabric.requestsServed() - before;
+  };
+  const auto direct = countReads(RestartMode::kDirect);
+  const auto scatter = countReads(RestartMode::kLeaderScatter);
+  // 256 direct readers issue a request per block vs 4 sequential leaders.
+  EXPECT_GT(direct, scatter);
+}
+
+TEST(Restart, WorkersFasterThanLeadersUnderScatter) {
+  SimStack stack(256, quiet());
+  const auto spec = smallSpec();
+  runCheckpoint(stack, spec, StrategyConfig::rbIo(64, true));
+  RestartConfig cfg;
+  cfg.mode = RestartMode::kLeaderScatter;
+  cfg.groupSize = 64;
+  const auto r = runRestart(stack, spec, cfg);
+  // Leaders do the disk reads; members wait for the scatter, which lands
+  // shortly after the leader finishes (one NIC-serialised pass over the
+  // group, a few percent of the read time).
+  for (int leader = 0; leader < 256; leader += 64) {
+    const double leaderTime =
+        r.perRankTime[static_cast<std::size_t>(leader)];
+    for (int m = 1; m < 64; ++m)
+      EXPECT_LE(r.perRankTime[static_cast<std::size_t>(leader + m)],
+                leaderTime * 1.2);
+  }
+}
+
+TEST(Restart, OnePfppCheckpointsRestartWithGroupSizeOne) {
+  SimStack stack(256, quiet());
+  CheckpointSpec spec = smallSpec();
+  spec.fieldBytesPerRank = 8 * 1024;
+  runCheckpoint(stack, spec, StrategyConfig::onePfpp());
+  RestartConfig cfg;
+  cfg.mode = RestartMode::kDirect;
+  cfg.groupSize = 1;
+  const auto r = runRestart(stack, spec, cfg);
+  EXPECT_GT(r.bandwidth, 0);
+}
+
+}  // namespace
+}  // namespace bgckpt::iolib

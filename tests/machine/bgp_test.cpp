@@ -1,0 +1,135 @@
+#include "machine/bgp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bgckpt::machine {
+namespace {
+
+TEST(Machine, IntrepidPartitionSizes) {
+  for (int ranks : {16384, 32768, 65536}) {
+    Machine m = intrepidMachine(ranks);
+    EXPECT_EQ(m.numRanks(), ranks);
+    EXPECT_EQ(m.numNodes(), ranks / 4);
+    EXPECT_EQ(m.ranksPerNode(), 4);
+    EXPECT_EQ(m.numPsets(), ranks / 4 / 64);
+    EXPECT_EQ(m.ranksPerPset(), 256);
+  }
+}
+
+TEST(Machine, IntrepidRejectsOddSizes) {
+  EXPECT_THROW(intrepidMachine(1000), std::invalid_argument);
+  EXPECT_THROW(intrepidMachine(3), std::invalid_argument);
+  EXPECT_THROW(intrepidMachine(7 * 4 * 64), std::invalid_argument);
+}
+
+TEST(Machine, RankToNodeMapping_TxyzOrder) {
+  Machine m = intrepidMachine(256);  // 64 nodes, 4x4x4
+  // Cores vary fastest: ranks 0..3 on node 0, 4..7 on node 1.
+  EXPECT_EQ(m.nodeOfRank(0), 0);
+  EXPECT_EQ(m.nodeOfRank(3), 0);
+  EXPECT_EQ(m.nodeOfRank(4), 1);
+  EXPECT_EQ(m.coreOfRank(0), 0);
+  EXPECT_EQ(m.coreOfRank(3), 3);
+  EXPECT_EQ(m.coreOfRank(6), 2);
+  EXPECT_THROW(m.nodeOfRank(256), std::out_of_range);
+  EXPECT_THROW(m.nodeOfRank(-1), std::out_of_range);
+}
+
+TEST(Machine, CoordRoundTrip) {
+  Machine m = intrepidMachine(2048);  // 512 nodes, 8x8x8
+  for (int n = 0; n < m.numNodes(); ++n) {
+    NodeCoord c = m.coordOfNode(n);
+    EXPECT_EQ(m.nodeOfCoord(c), n);
+  }
+}
+
+TEST(Machine, CoordXVariesFastest) {
+  Machine m = intrepidMachine(256);  // 4x4x4
+  EXPECT_EQ(m.coordOfNode(0), (NodeCoord{0, 0, 0}));
+  EXPECT_EQ(m.coordOfNode(1), (NodeCoord{1, 0, 0}));
+  EXPECT_EQ(m.coordOfNode(4), (NodeCoord{0, 1, 0}));
+  EXPECT_EQ(m.coordOfNode(16), (NodeCoord{0, 0, 1}));
+}
+
+TEST(Machine, TorusHopsSymmetricAndZeroOnSelf) {
+  Machine m = intrepidMachine(2048);
+  for (int a = 0; a < m.numNodes(); a += 37) {
+    EXPECT_EQ(m.torusHops(a, a), 0);
+    for (int b = 0; b < m.numNodes(); b += 53)
+      EXPECT_EQ(m.torusHops(a, b), m.torusHops(b, a));
+  }
+}
+
+TEST(Machine, TorusHopsUsesWraparound) {
+  Machine m = intrepidMachine(256);  // 4x4x4
+  // (0,0,0) to (3,0,0) is one hop through the wraparound link, not three.
+  int a = m.nodeOfCoord({0, 0, 0});
+  int b = m.nodeOfCoord({3, 0, 0});
+  EXPECT_EQ(m.torusHops(a, b), 1);
+  // (0,0,0) to (2,2,2) is 2+2+2 = 6 (max distance in each dim of size 4).
+  int c = m.nodeOfCoord({2, 2, 2});
+  EXPECT_EQ(m.torusHops(a, c), 6);
+}
+
+TEST(Machine, TorusHopsTriangleInequality) {
+  Machine m = intrepidMachine(1024);
+  for (int a = 0; a < m.numNodes(); a += 41)
+    for (int b = 0; b < m.numNodes(); b += 67)
+      for (int c = 0; c < m.numNodes(); c += 97)
+        EXPECT_LE(m.torusHops(a, c), m.torusHops(a, b) + m.torusHops(b, c));
+}
+
+TEST(Machine, PsetsPartitionNodesContiguously) {
+  Machine m = intrepidMachine(16384);  // 4096 nodes, 64 psets
+  EXPECT_EQ(m.numPsets(), 64);
+  std::set<int> psets;
+  for (int n = 0; n < m.numNodes(); ++n) {
+    int p = m.psetOfNode(n);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, m.numPsets());
+    psets.insert(p);
+    if (n > 0) {
+      EXPECT_GE(p, m.psetOfNode(n - 1));  // monotone
+    }
+  }
+  EXPECT_EQ(psets.size(), static_cast<size_t>(m.numPsets()));
+}
+
+TEST(Machine, PsetOfRankConsistentWithNode) {
+  Machine m = intrepidMachine(16384);
+  for (int r = 0; r < m.numRanks(); r += 997)
+    EXPECT_EQ(m.psetOfRank(r), m.psetOfNode(m.nodeOfRank(r)));
+}
+
+TEST(Machine, InvalidShapesThrow) {
+  EXPECT_THROW(Machine({0, 4, 4}, NodeMode::kVn, {}, {}),
+               std::invalid_argument);
+  // 4x4x4 = 64 nodes is one pset exactly; 4x4x2 = 32 is not a multiple.
+  EXPECT_THROW(Machine({4, 4, 2}, NodeMode::kVn, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(Machine, DescribeMentionsKeyFacts) {
+  Machine m = intrepidMachine(65536);
+  std::string d = describe(m);
+  EXPECT_NE(d.find("65536 ranks"), std::string::npos);
+  EXPECT_NE(d.find("16384 nodes"), std::string::npos);
+  EXPECT_NE(d.find("VN"), std::string::npos);
+  EXPECT_NE(d.find("256 psets"), std::string::npos);
+}
+
+TEST(Machine, IntrepidDefaultsMatchPublishedNumbers) {
+  Machine m = intrepidMachine(16384);
+  EXPECT_DOUBLE_EQ(m.compute().coreFrequencyHz, 850e6);
+  EXPECT_DOUBLE_EQ(m.compute().torusLinkBandwidth, 425e6);
+  EXPECT_EQ(m.io().numFileServers, 128);
+  EXPECT_EQ(m.io().numDdnArrays, 16);
+  // Aggregate write bandwidth of the server tier ~= 47 GB/s published peak.
+  double aggregate = m.io().serverWriteBandwidth * m.io().numFileServers;
+  EXPECT_NEAR(aggregate, 47e9, 1e9);
+}
+
+}  // namespace
+}  // namespace bgckpt::machine

@@ -1,0 +1,143 @@
+// The BG/P aggregator-selection rule is load-bearing for the whole
+// reproduction (it sets the filesystem client counts of every strategy),
+// so it gets its own suite: dense communicators give the stock 32:1 ratio,
+// sub-communicators get aggregators proportional to their pset population,
+// sparse communicators get at least one per touched pset.
+#include <gtest/gtest.h>
+
+#include "mpiio/file.hpp"
+
+namespace bgckpt::io {
+namespace {
+
+using machine::intrepidMachine;
+using sim::Scheduler;
+using sim::Task;
+
+struct Probe {
+  Scheduler sched;
+  machine::Machine mach;
+  net::TorusNetwork torus;
+  net::CollectiveNetwork coll;
+  mpi::Runtime rt;
+
+  explicit Probe(int ranks)
+      : mach(intrepidMachine(ranks)),
+        torus(sched, mach),
+        coll(mach),
+        rt(sched, mach, torus, coll, 1) {}
+};
+
+// Runs `fn` once on rank 0 with a world communicator view.
+template <typename Fn>
+void onWorld(Probe& p, Fn&& fn) {
+  bool ran = false;
+  auto program = [&fn, &ran](mpi::Comm comm) -> Task<> {
+    if (comm.rank() == 0) {
+      fn(comm);
+      ran = true;
+    }
+    co_return;
+  };
+  p.rt.spawnAll(program);
+  p.sched.run();
+  ASSERT_TRUE(ran);
+}
+
+TEST(ChooseAggregatorsRule, DenseWorldGives32To1) {
+  for (int ranks : {4096, 16384}) {
+    Probe p(ranks);
+    onWorld(p, [ranks](mpi::Comm comm) {
+      const auto aggs = chooseAggregators(comm, Hints{});
+      EXPECT_EQ(static_cast<int>(aggs.size()), ranks / 32)
+          << "at " << ranks << " ranks";
+    });
+  }
+}
+
+TEST(ChooseAggregatorsRule, AggregatorsAreSortedUniqueInRange) {
+  Probe p(4096);
+  onWorld(p, [](mpi::Comm comm) {
+    const auto aggs = chooseAggregators(comm, Hints{});
+    for (std::size_t i = 0; i < aggs.size(); ++i) {
+      EXPECT_GE(aggs[i], 0);
+      EXPECT_LT(aggs[i], comm.size());
+      if (i > 0) {
+        EXPECT_GT(aggs[i], aggs[i - 1]);
+      }
+    }
+  });
+}
+
+TEST(ChooseAggregatorsRule, DenseSubgroupOf64Gives2) {
+  // The paper's 64-rank split-collective groups use the stock ratio: 2
+  // aggregators per group (64 / 32).
+  Probe p(4096);
+  bool checked = false;
+  auto program = [&checked](mpi::Comm comm) -> Task<> {
+    mpi::Comm sub = co_await comm.split(comm.rank() / 64, comm.rank());
+    if (comm.rank() == 0) {
+      const auto aggs = chooseAggregators(sub, Hints{});
+      EXPECT_EQ(aggs.size(), 2u);
+      checked = true;
+    }
+  };
+  p.rt.spawnAll(program);
+  p.sched.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ChooseAggregatorsRule, SparseWriterCommGetsOnePerPset) {
+  // rbIO's writer communicator: one rank per 64 (4 per 256-rank pset).
+  // ceil(4/32) = 1 aggregator per touched pset.
+  Probe p(16384);
+  bool checked = false;
+  auto program = [&checked](mpi::Comm comm) -> Task<> {
+    const bool isWriter = comm.rank() % 64 == 0;
+    mpi::Comm sub = co_await comm.split(isWriter ? 0 : 1, comm.rank());
+    if (comm.rank() == 0) {
+      // 256 writers spread over 64 psets.
+      EXPECT_EQ(sub.size(), 256);
+      const auto aggs = chooseAggregators(sub, Hints{});
+      EXPECT_EQ(aggs.size(), 64u);
+      checked = true;
+    }
+  };
+  p.rt.spawnAll(program);
+  p.sched.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(ChooseAggregatorsRule, HintScalesTheCount) {
+  Probe p(4096);
+  onWorld(p, [](mpi::Comm comm) {
+    Hints h4;
+    h4.bgpNodesPset = 4;  // 64:1
+    Hints h16;
+    h16.bgpNodesPset = 16;  // 16:1
+    EXPECT_EQ(chooseAggregators(comm, h4).size(), 4096u / 64u);
+    EXPECT_EQ(chooseAggregators(comm, h16).size(), 4096u / 16u);
+  });
+}
+
+TEST(ChooseAggregatorsRule, NeverExceedsCommSizeOrDropsToZero) {
+  Probe p(256);
+  bool checked = false;
+  auto program = [&checked](mpi::Comm comm) -> Task<> {
+    mpi::Comm pair = co_await comm.split(comm.rank() / 2, comm.rank());
+    if (comm.rank() == 0) {
+      Hints huge;
+      huge.bgpNodesPset = 1000;
+      const auto aggs = chooseAggregators(pair, huge);
+      EXPECT_GE(aggs.size(), 1u);
+      EXPECT_LE(aggs.size(), 2u);
+      checked = true;
+    }
+  };
+  p.rt.spawnAll(program);
+  p.sched.run();
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace bgckpt::io

@@ -1,0 +1,257 @@
+#include "mpiio/file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bgckpt::io {
+namespace {
+
+using machine::Machine;
+using machine::intrepidMachine;
+using sim::MiB;
+using sim::Scheduler;
+using sim::Task;
+
+// Full stack: scheduler + machine + torus + ION + storage + fs + MPI.
+struct Job {
+  Scheduler sched;
+  Machine mach;
+  net::TorusNetwork torus;
+  net::CollectiveNetwork coll;
+  net::IonForwarding ion;
+  stor::StorageFabric fabric;
+  fs::ParallelFsSim fsys;
+  mpi::Runtime rt;
+
+  explicit Job(int ranks = 256, fs::FsConfig cfg = fs::gpfsConfig(),
+               std::uint64_t seed = 1)
+      : mach(intrepidMachine(ranks)),
+        torus(sched, mach),
+        coll(mach),
+        ion(sched, mach),
+        fabric(sched, mach, seed, stor::NoiseModel::none(),
+               cfg.serverConcurrency),
+        fsys(sched, mach, ion, fabric, seed, cfg),
+        rt(sched, mach, torus, coll, seed) {}
+
+  void run(std::function<Task<>(mpi::Comm)> program) {
+    rt.spawnAll(std::move(program));
+    sched.run();
+    ASSERT_EQ(sched.liveRoots(), 0u) << "job deadlocked";
+  }
+};
+
+TEST(ChooseAggregators, DefaultRatioIs32To1) {
+  Job job(256);
+  Hints hints;
+  int count = -1;
+  job.run([&](mpi::Comm comm) -> Task<> {
+    if (comm.rank() == 0) {
+      auto aggs = chooseAggregators(comm, hints);
+      count = static_cast<int>(aggs.size());
+      EXPECT_EQ(aggs.front(), 0);
+      // Evenly spread.
+      for (size_t i = 1; i < aggs.size(); ++i)
+        EXPECT_EQ(aggs[i] - aggs[i - 1], 32);
+    }
+    co_return;
+  });
+  EXPECT_EQ(count, 8);  // 256 ranks / 32
+}
+
+TEST(ChooseAggregators, PsetHintChangesRatio) {
+  Job job(256);
+  Hints hints;
+  hints.bgpNodesPset = 4;  // 256/4 = 64:1, the paper's rbIO-like ratio
+  job.run([&](mpi::Comm comm) -> Task<> {
+    if (comm.rank() == 0) {
+      auto aggs = chooseAggregators(comm, hints);
+      EXPECT_EQ(aggs.size(), 4u);
+    }
+    co_return;
+  });
+}
+
+TEST(MpiFile, CollectiveOpenCreatesOnce) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "out/shared");
+    co_await f.close();
+  });
+  EXPECT_TRUE(job.fsys.image().exists("out/shared"));
+  EXPECT_EQ(job.fsys.createsIssued(), 1u);
+}
+
+TEST(MpiFile, DeferredOpenOnlyAggregatorsTouchFs) {
+  Job job(256);
+  int aggCount = 0;
+  job.run([&](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    if (f.isAggregator()) ++aggCount;
+    EXPECT_EQ(f.numAggregators(), 8);
+    co_await f.close();
+  });
+  EXPECT_EQ(aggCount, 8);
+}
+
+TEST(MpiFile, IndependentWriteAtLandsAtOffset) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    if (comm.rank() == 5) co_await f.writeAt(10 * MiB, 2 * MiB);
+    co_await f.close();
+  });
+  const auto* img = job.fsys.image().find("f");
+  ASSERT_NE(img, nullptr);
+  EXPECT_EQ(img->size(), 12 * MiB);
+  EXPECT_EQ(img->coveredBytes(), 2 * MiB);
+}
+
+TEST(MpiFile, CollectiveWriteCoversWholeRegion) {
+  Job job(256);
+  const sim::Bytes perRank = MiB / 4;
+  job.run([&](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "ckpt");
+    const auto off = static_cast<std::uint64_t>(comm.rank()) * perRank;
+    co_await f.writeAtAll(off, perRank);
+    co_await f.close();
+  });
+  const auto* img = job.fsys.image().find("ckpt");
+  ASSERT_NE(img, nullptr);
+  EXPECT_TRUE(img->coversExactly(256 * perRank));
+}
+
+TEST(MpiFile, CollectiveWritePreservesContent) {
+  Job job(256);
+  const sim::Bytes perRank = 64 * 1024;
+  job.run([&](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "ckpt");
+    std::vector<std::byte> data(perRank);
+    for (size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::byte>((i + static_cast<size_t>(comm.rank())) &
+                                       0xff);
+    const auto off = static_cast<std::uint64_t>(comm.rank()) * perRank;
+    co_await f.writeAtAll(off, perRank, data);
+    co_await f.close();
+  });
+  const auto* img = job.fsys.image().find("ckpt");
+  ASSERT_NE(img, nullptr);
+  ASSERT_TRUE(img->coversExactly(256 * perRank));
+  // Spot-check a few ranks' regions.
+  for (int r : {0, 1, 100, 255}) {
+    auto back = img->readBytes(
+        {static_cast<std::uint64_t>(r) * perRank, perRank});
+    for (size_t i = 0; i < back.size(); i += 997)
+      ASSERT_EQ(back[i],
+                static_cast<std::byte>((i + static_cast<size_t>(r)) & 0xff))
+          << "rank " << r << " byte " << i;
+  }
+}
+
+TEST(MpiFile, CollectiveWriteOnlyAggregatorsHitServers) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    co_await f.writeAtAll(static_cast<std::uint64_t>(comm.rank()) * MiB, MiB);
+    co_await f.close();
+  });
+  // All fs-level writes must come from the 8 aggregators, coalesced into
+  // cb-buffer chunks: 256 MiB / 16 MiB = 16 fs writes.
+  EXPECT_EQ(job.fsys.writesIssued(), 16u);
+}
+
+TEST(MpiFile, UnalignedDomainsCauseMoreRevocations) {
+  auto run = [&](bool aligned) {
+    Job job(256);
+    Hints hints;
+    hints.alignFileDomains = aligned;
+    // Per-rank extents straddle block boundaries (4 MiB blocks, 1.5 MiB
+    // extents), so unaligned domains share blocks between aggregators.
+    job.run([&job, hints](mpi::Comm comm) -> Task<> {
+      MpiFile f = co_await MpiFile::open(comm, job.fsys, "f", hints);
+      const auto off =
+          static_cast<std::uint64_t>(comm.rank()) * (3 * MiB / 2);
+      co_await f.writeAtAll(off, 3 * MiB / 2);
+      co_await f.close();
+    });
+    return job.fsys.totalRevocations();
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+TEST(MpiFile, RepeatedCollectiveRoundsProgress) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    const sim::Bytes perRank = 128 * 1024;
+    for (int field = 0; field < 6; ++field) {
+      const auto base = static_cast<std::uint64_t>(field) * 256 * perRank;
+      co_await f.writeAtAll(
+          base + static_cast<std::uint64_t>(comm.rank()) * perRank, perRank);
+    }
+    co_await f.close();
+  });
+  const auto* img = job.fsys.image().find("f");
+  ASSERT_NE(img, nullptr);
+  EXPECT_TRUE(img->coversExactly(6ull * 256 * 128 * 1024));
+}
+
+TEST(MpiFile, ZeroLengthParticipantsAreFine) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    // Only even ranks contribute data.
+    const bool writes = comm.rank() % 2 == 0;
+    co_await f.writeAtAll(
+        static_cast<std::uint64_t>(comm.rank() / 2) * MiB,
+        writes ? MiB : 0);
+    co_await f.close();
+  });
+  const auto* img = job.fsys.image().find("f");
+  ASSERT_NE(img, nullptr);
+  EXPECT_TRUE(img->coversExactly(128 * MiB));
+}
+
+TEST(MpiFile, AllZeroCollectiveWriteJustSynchronises) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    co_await f.writeAtAll(0, 0);
+    co_await f.close();
+  });
+  EXPECT_EQ(job.fsys.writesIssued(), 0u);
+}
+
+TEST(MpiFile, SplitCommunicatorsWriteSeparateFiles) {
+  // The paper's np:nf = 64:1 split-collective configuration in miniature.
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    mpi::Comm sub = co_await comm.split(comm.rank() / 64, comm.rank());
+    const std::string path = "ckpt." + std::to_string(comm.rank() / 64);
+    MpiFile f = co_await MpiFile::open(sub, job.fsys, path);
+    co_await f.writeAtAll(static_cast<std::uint64_t>(sub.rank()) * MiB, MiB);
+    co_await f.close();
+  });
+  EXPECT_EQ(job.fsys.image().fileCount(), 4u);
+  for (int g = 0; g < 4; ++g) {
+    const auto* img = job.fsys.image().find("ckpt." + std::to_string(g));
+    ASSERT_NE(img, nullptr);
+    EXPECT_TRUE(img->coversExactly(64 * MiB));
+  }
+}
+
+TEST(MpiFile, ReadAtCompletes) {
+  Job job(256);
+  job.run([&job](mpi::Comm comm) -> Task<> {
+    MpiFile f = co_await MpiFile::open(comm, job.fsys, "f");
+    if (comm.rank() == 0) {
+      co_await f.writeAt(0, 8 * MiB);
+      co_await f.readAt(0, 8 * MiB);
+    }
+    co_await f.close();
+  });
+}
+
+}  // namespace
+}  // namespace bgckpt::io

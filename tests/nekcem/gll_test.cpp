@@ -1,0 +1,115 @@
+#include "nekcem/gll.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace bgckpt::nekcem {
+namespace {
+
+TEST(Legendre, KnownValues) {
+  EXPECT_DOUBLE_EQ(legendre(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(1, 0.5), 0.5);
+  EXPECT_NEAR(legendre(2, 0.5), 0.5 * (3 * 0.25 - 1), 1e-15);
+  EXPECT_DOUBLE_EQ(legendre(5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(legendre(5, -1.0), -1.0);
+}
+
+TEST(Legendre, DerivativeMatchesFiniteDifference) {
+  for (int n : {2, 4, 7}) {
+    for (double x : {-0.8, -0.3, 0.1, 0.6}) {
+      const double h = 1e-6;
+      const double fd = (legendre(n, x + h) - legendre(n, x - h)) / (2 * h);
+      EXPECT_NEAR(legendreDeriv(n, x), fd, 1e-7) << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(GllBasis, RejectsOrderZero) {
+  EXPECT_THROW(GllBasis(0), std::invalid_argument);
+}
+
+TEST(GllBasis, OrderTwoKnownNodesAndWeights) {
+  GllBasis b(2);
+  ASSERT_EQ(b.numPoints(), 3);
+  EXPECT_DOUBLE_EQ(b.node(0), -1.0);
+  EXPECT_NEAR(b.node(1), 0.0, 1e-15);
+  EXPECT_DOUBLE_EQ(b.node(2), 1.0);
+  EXPECT_NEAR(b.weight(0), 1.0 / 3.0, 1e-14);
+  EXPECT_NEAR(b.weight(1), 4.0 / 3.0, 1e-14);
+  EXPECT_NEAR(b.weight(2), 1.0 / 3.0, 1e-14);
+}
+
+TEST(GllBasis, OrderThreeKnownInteriorNodes) {
+  GllBasis b(3);
+  const double expected = std::sqrt(1.0 / 5.0);
+  EXPECT_NEAR(b.node(1), -expected, 1e-13);
+  EXPECT_NEAR(b.node(2), expected, 1e-13);
+  EXPECT_NEAR(b.weight(1), 5.0 / 6.0, 1e-13);
+}
+
+class GllOrder : public ::testing::TestWithParam<int> {};
+
+TEST_P(GllOrder, NodesSortedSymmetricInUnitInterval) {
+  GllBasis b(GetParam());
+  const auto& x = b.nodes();
+  EXPECT_DOUBLE_EQ(x.front(), -1.0);
+  EXPECT_DOUBLE_EQ(x.back(), 1.0);
+  for (std::size_t i = 1; i < x.size(); ++i) EXPECT_LT(x[i - 1], x[i]);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(x[i], -x[x.size() - 1 - i], 1e-12);
+}
+
+TEST_P(GllOrder, WeightsPositiveAndSumToTwo) {
+  GllBasis b(GetParam());
+  double sum = 0;
+  for (double w : b.weights()) {
+    EXPECT_GT(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 2.0, 1e-12);
+}
+
+TEST_P(GllOrder, QuadratureExactThrough2Nminus1) {
+  const int n = GetParam();
+  GllBasis b(n);
+  for (int p = 0; p <= 2 * n - 1; ++p) {
+    double integral = 0;
+    for (int i = 0; i < b.numPoints(); ++i)
+      integral += b.weight(i) * std::pow(b.node(i), p);
+    const double exact = (p % 2 == 0) ? 2.0 / (p + 1) : 0.0;
+    EXPECT_NEAR(integral, exact, 1e-11) << "order " << n << " monomial " << p;
+  }
+}
+
+TEST_P(GllOrder, DiffMatrixExactForPolynomialsThroughN) {
+  const int n = GetParam();
+  GllBasis b(n);
+  for (int p = 0; p <= n; ++p) {
+    for (int i = 0; i < b.numPoints(); ++i) {
+      double d = 0;
+      for (int j = 0; j < b.numPoints(); ++j)
+        d += b.diff(i, j) * std::pow(b.node(j), p);
+      const double exact = p == 0 ? 0.0 : p * std::pow(b.node(i), p - 1);
+      EXPECT_NEAR(d, exact, 1e-9 * std::max(1.0, std::abs(exact)))
+          << "order " << n << " monomial " << p << " node " << i;
+    }
+  }
+}
+
+TEST_P(GllOrder, DiffMatrixRowsSumToZero) {
+  // Derivative of the constant function vanishes.
+  GllBasis b(GetParam());
+  for (int i = 0; i < b.numPoints(); ++i) {
+    double sum = 0;
+    for (int j = 0; j < b.numPoints(); ++j) sum += b.diff(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GllOrder,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 10, 15));
+
+}  // namespace
+}  // namespace bgckpt::nekcem

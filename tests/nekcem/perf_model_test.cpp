@@ -1,0 +1,51 @@
+#include "nekcem/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::nekcem {
+namespace {
+
+TEST(PerfModel, GridPointsFormula) {
+  // n = E (N+1)^3: the paper's (E, N) = (273K, 15) gives ~1.1 billion.
+  EXPECT_EQ(PerfModel::gridPoints(273000, 15), 273000ull * 4096ull);
+  EXPECT_NEAR(static_cast<double>(PerfModel::gridPoints(273000, 15)), 1.1e9,
+              0.02e9);
+}
+
+TEST(PerfModel, PaperAnchor131kRanks) {
+  // ~0.13 s per step on 131,072 ranks for E=273K, N=15.
+  PerfModel model;
+  EXPECT_NEAR(model.stepSeconds(273000, 15, 131072), 0.13, 0.005);
+}
+
+TEST(PerfModel, StrongScalingEfficiency75Percent) {
+  // 131K ranks at n/P=8530 vs the 16K-rank base at n/P=68250.
+  PerfModel model;
+  EXPECT_NEAR(model.efficiency(8530, 131072, 68250, 16384), 0.75, 0.01);
+}
+
+TEST(PerfModel, EfficiencyImprovesWithMorePointsPerRank) {
+  PerfModel model;
+  const double lo = model.efficiency(1000, 0, 100000, 0);
+  const double hi = model.efficiency(50000, 0, 100000, 0);
+  EXPECT_LT(lo, hi);
+  EXPECT_LE(hi, 1.0);
+}
+
+TEST(PerfModel, WeakScalingStepTimeIsScaleInvariantAndReasonable) {
+  PerfModel model;
+  const double t = model.weakScalingStepSeconds();
+  // ~0.2 s per step for the paper's checkpoint-run problem sizes.
+  EXPECT_GT(t, 0.1);
+  EXPECT_LT(t, 0.4);
+  // Weak scaling: same n/P at any rank count gives the same step time.
+  EXPECT_DOUBLE_EQ(model.stepSeconds(17000, 15), t);
+}
+
+TEST(PerfModel, HigherOrderCostsMore) {
+  PerfModel model;
+  EXPECT_GT(model.stepSeconds(10000, 15), model.stepSeconds(10000, 5));
+}
+
+}  // namespace
+}  // namespace bgckpt::nekcem

@@ -1,0 +1,121 @@
+// Property-style sweeps over the network models.
+#include <gtest/gtest.h>
+
+#include "netsim/ion.hpp"
+#include "netsim/torus.hpp"
+#include "simcore/sync.hpp"
+
+namespace bgckpt::net {
+namespace {
+
+using machine::Machine;
+using machine::intrepidMachine;
+using sim::Scheduler;
+using sim::Task;
+
+class SizeSweep : public ::testing::TestWithParam<sim::Bytes> {};
+
+TEST_P(SizeSweep, LatencyMonotoneInSize) {
+  Scheduler sched;
+  Machine m = intrepidMachine(256);
+  TorusNetwork net(sched, m);
+  const sim::Bytes size = GetParam();
+  EXPECT_LT(net.uncontendedLatency(0, 100, size),
+            net.uncontendedLatency(0, 100, size * 2));
+  EXPECT_LT(net.uncontendedLatency(0, 1, size),
+            net.uncontendedLatency(0, 1, size * 2));
+}
+
+TEST_P(SizeSweep, MeasuredEqualsPredictedUncontended) {
+  Scheduler sched;
+  Machine m = intrepidMachine(256);
+  TorusNetwork net(sched, m);
+  const sim::Bytes size = GetParam();
+  double done = -1;
+  auto body = [](Scheduler& s, TorusNetwork& n, sim::Bytes sz,
+                 double& out) -> Task<> {
+    co_await n.transfer(3, 200, sz);
+    out = s.now();
+  };
+  sched.spawn(body(sched, net, size, done));
+  sched.run();
+  EXPECT_DOUBLE_EQ(done, net.uncontendedLatency(3, 200, size));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(1, 1024, 64 * 1024, sim::MiB,
+                                           16 * sim::MiB));
+
+TEST(TorusProperties, ByteAndMessageAccountingExact) {
+  Scheduler sched;
+  Machine m = intrepidMachine(256);
+  TorusNetwork net(sched, m);
+  sim::WaitGroup wg(sched);
+  auto body = [](TorusNetwork& n, sim::WaitGroup& w, int src, int dst,
+                 sim::Bytes sz) -> Task<> {
+    co_await n.transfer(src, dst, sz);
+    w.done();
+  };
+  sim::Bytes expected = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto sz = static_cast<sim::Bytes>(1000 * (i + 1));
+    expected += sz;
+    wg.add();
+    sched.spawn(body(net, wg, i, 255 - i, sz));
+  }
+  sched.run();
+  EXPECT_EQ(net.messagesDelivered(), 40u);
+  EXPECT_EQ(net.bytesDelivered(), expected);
+  EXPECT_EQ(net.latencyStats().count(), 40u);
+  EXPECT_GT(net.latencyStats().min(), 0.0);
+}
+
+TEST(CollectiveProperties, CostsMonotoneInPartiesAndSize) {
+  Machine m = intrepidMachine(65536);
+  CollectiveNetwork net(m);
+  double prevB = 0;
+  for (int parties : {2, 16, 256, 4096, 65536}) {
+    const double b = net.broadcastCost(parties, sim::MiB);
+    EXPECT_GT(b, prevB);
+    prevB = b;
+    EXPECT_GE(net.barrierCost(parties), net.barrierCost(2));
+  }
+  for (sim::Bytes size : {sim::Bytes{1}, sim::KiB, sim::MiB})
+    EXPECT_LT(net.broadcastCost(1024, size),
+              net.broadcastCost(1024, size * 4));
+}
+
+TEST(IonProperties, ForwardingAccountingExact) {
+  Scheduler sched;
+  Machine m = intrepidMachine(1024);  // 4 psets
+  IonForwarding ion(sched, m);
+  auto body = [](IonForwarding& f, int rank, sim::Bytes sz) -> Task<> {
+    co_await f.forward(rank, sz);
+  };
+  for (int i = 0; i < 16; ++i)
+    sched.spawn(body(ion, i * 64, 1000));
+  sched.run();
+  EXPECT_EQ(ion.requestsForwarded(), 16u);
+  EXPECT_EQ(ion.bytesForwarded(), 16000u);
+}
+
+TEST(IonProperties, PsetsScaleAggregateThroughput) {
+  // The same 16 requests complete faster when spread over 4 psets than
+  // when crammed into one.
+  auto runSpread = [](bool spread) {
+    Scheduler sched;
+    Machine m = intrepidMachine(1024);
+    IonForwarding ion(sched, m);
+    auto body = [](IonForwarding& f, int rank) -> Task<> {
+      co_await f.forward(rank, 125 * sim::MB);
+    };
+    for (int i = 0; i < 16; ++i)
+      sched.spawn(body(ion, spread ? (i % 4) * 256 : i));
+    sched.run();
+    return sched.now();
+  };
+  EXPECT_LT(runSpread(true), runSpread(false) * 0.5);
+}
+
+}  // namespace
+}  // namespace bgckpt::net

@@ -1,0 +1,77 @@
+#include "profiling/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::prof {
+namespace {
+
+TEST(IoProfile, EnvelopeSpansFirstToLast) {
+  IoProfile p;
+  p.record(0, Op::kCreate, 1.0, 2.0);
+  p.record(0, Op::kWrite, 3.0, 7.0, 100);
+  p.record(1, Op::kWrite, 0.5, 1.0, 50);
+  auto env = p.perRankEnvelope(3);
+  ASSERT_EQ(env.size(), 3u);
+  EXPECT_DOUBLE_EQ(env[0], 6.0);  // 7.0 - 1.0
+  EXPECT_DOUBLE_EQ(env[1], 0.5);
+  EXPECT_DOUBLE_EQ(env[2], 0.0);  // no records
+}
+
+TEST(IoProfile, BusySumsDurations) {
+  IoProfile p;
+  p.record(0, Op::kCreate, 1.0, 2.0);
+  p.record(0, Op::kWrite, 5.0, 6.5);
+  auto busy = p.perRankBusy(1);
+  EXPECT_DOUBLE_EQ(busy[0], 2.5);
+}
+
+TEST(IoProfile, CountersByOp) {
+  IoProfile p;
+  p.record(0, Op::kWrite, 0, 1, 100);
+  p.record(1, Op::kWrite, 0, 1, 200);
+  p.record(2, Op::kSend, 0, 1, 999);
+  EXPECT_EQ(p.opCount(Op::kWrite), 2u);
+  EXPECT_EQ(p.totalBytes(Op::kWrite), 300u);
+  EXPECT_EQ(p.totalBytes(Op::kSend), 999u);
+  EXPECT_EQ(p.opCount(Op::kClose), 0u);
+}
+
+TEST(IoProfile, ActivityTimelineCountsOverlaps) {
+  IoProfile p;
+  p.record(0, Op::kWrite, 0.0, 2.0);   // bins 0,1
+  p.record(1, Op::kWrite, 1.0, 3.0);   // bins 1,2
+  p.record(2, Op::kSend, 0.0, 10.0);   // different op, ignored
+  auto timeline = p.activityTimeline(Op::kWrite, 1.0, 4.0);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0], 1);
+  EXPECT_EQ(timeline[1], 2);
+  EXPECT_EQ(timeline[2], 1);
+  EXPECT_EQ(timeline[3], 0);
+}
+
+TEST(IoProfile, OutOfRangeRanksIgnoredInAggregates) {
+  IoProfile p;
+  p.record(10, Op::kWrite, 0, 1);
+  auto env = p.perRankEnvelope(2);
+  EXPECT_DOUBLE_EQ(env[0], 0.0);
+  EXPECT_DOUBLE_EQ(env[1], 0.0);
+}
+
+TEST(IoProfile, OpNames) {
+  EXPECT_STREQ(opName(Op::kCreate), "create");
+  EXPECT_STREQ(opName(Op::kSend), "send");
+  EXPECT_STREQ(opName(Op::kOther), "other");
+}
+
+TEST(ScopedOp, RecordsOnStop) {
+  IoProfile p;
+  ScopedOp op(p, 3, Op::kClose, 5.0);
+  op.stop(7.5, 42);
+  ASSERT_EQ(p.records().size(), 1u);
+  EXPECT_EQ(p.records()[0].rank, 3);
+  EXPECT_DOUBLE_EQ(p.records()[0].duration(), 2.5);
+  EXPECT_EQ(p.records()[0].bytes, 42u);
+}
+
+}  // namespace
+}  // namespace bgckpt::prof

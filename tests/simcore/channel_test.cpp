@@ -1,0 +1,166 @@
+#include "simcore/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgckpt::sim {
+namespace {
+
+TEST(Channel, PushThenRecvImmediate) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  ch.push(1);
+  ch.push(2);
+  std::vector<int> got;
+  auto reader = [&]() -> Task<> {
+    got.push_back(co_await ch.recv());
+    got.push_back(co_await ch.recv());
+  };
+  sched.spawn(reader());
+  sched.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+}
+
+TEST(Channel, RecvSuspendsUntilPush) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  double recvTime = -1.0;
+  int value = 0;
+  auto reader = [&]() -> Task<> {
+    value = co_await ch.recv();
+    recvTime = sched.now();
+  };
+  auto writer = [&]() -> Task<> {
+    co_await sched.delay(3.0);
+    ch.push(99);
+  };
+  sched.spawn(reader());
+  sched.spawn(writer());
+  sched.run();
+  EXPECT_EQ(value, 99);
+  EXPECT_DOUBLE_EQ(recvTime, 3.0);
+  EXPECT_EQ(sched.liveRoots(), 0u);
+}
+
+TEST(Channel, FifoOrderManyItems) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<int> got;
+  auto reader = [&]() -> Task<> {
+    for (int i = 0; i < 100; ++i) got.push_back(co_await ch.recv());
+  };
+  auto writer = [&]() -> Task<> {
+    for (int i = 0; i < 100; ++i) {
+      ch.push(i);
+      if (i % 7 == 0) co_await sched.delay(0.1);
+    }
+  };
+  sched.spawn(reader());
+  sched.spawn(writer());
+  sched.run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<size_t>(i)], i);
+}
+
+TEST(Channel, MultipleReceiversServedInArrivalOrder) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  std::vector<std::pair<int, int>> got;  // (reader, value)
+  auto reader = [](Channel<int>& c, std::vector<std::pair<int, int>>& out,
+                   int r) -> Task<> {
+    int v = co_await c.recv();
+    out.emplace_back(r, v);
+  };
+  for (int r = 0; r < 3; ++r) sched.spawn(reader(ch, got, r));
+  auto writer = [&]() -> Task<> {
+    co_await sched.delay(1.0);
+    ch.push(10);
+    ch.push(20);
+    ch.push(30);
+  };
+  sched.spawn(writer());
+  sched.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<int, int>(0, 10)));
+  EXPECT_EQ(got[1], (std::pair<int, int>(1, 20)));
+  EXPECT_EQ(got[2], (std::pair<int, int>(2, 30)));
+}
+
+TEST(Channel, BoundedSendSuspendsWhenFull) {
+  Scheduler sched;
+  Channel<int> ch(sched, 2);
+  std::vector<double> sendTimes;
+  auto writer = [&]() -> Task<> {
+    for (int i = 0; i < 4; ++i) {
+      co_await ch.send(i);
+      sendTimes.push_back(sched.now());
+    }
+  };
+  auto reader = [&]() -> Task<> {
+    co_await sched.delay(5.0);
+    for (int i = 0; i < 4; ++i) {
+      int v = co_await ch.recv();
+      EXPECT_EQ(v, i);
+      co_await sched.delay(1.0);
+    }
+  };
+  sched.spawn(writer());
+  sched.spawn(reader());
+  sched.run();
+  ASSERT_EQ(sendTimes.size(), 4u);
+  // First two sends fit the buffer at t=0; the rest wait for drains.
+  EXPECT_DOUBLE_EQ(sendTimes[0], 0.0);
+  EXPECT_DOUBLE_EQ(sendTimes[1], 0.0);
+  EXPECT_GE(sendTimes[2], 5.0);
+  EXPECT_GE(sendTimes[3], sendTimes[2]);
+  EXPECT_EQ(sched.liveRoots(), 0u);
+}
+
+TEST(Channel, SenderWokenByWaitingReceiver) {
+  Scheduler sched;
+  Channel<int> ch(sched, 1);
+  // Fill the buffer, suspend a second sender, then have a receiver drain:
+  // both items must arrive.
+  std::vector<int> got;
+  auto writer = [&]() -> Task<> {
+    co_await ch.send(1);
+    co_await ch.send(2);
+  };
+  auto reader = [&]() -> Task<> {
+    co_await sched.delay(1.0);
+    got.push_back(co_await ch.recv());
+    got.push_back(co_await ch.recv());
+  };
+  sched.spawn(writer());
+  sched.spawn(reader());
+  sched.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sched.liveRoots(), 0u);
+}
+
+TEST(Channel, TryRecvEmptyAndNonEmpty) {
+  Scheduler sched;
+  Channel<int> ch(sched);
+  EXPECT_FALSE(ch.tryRecv().has_value());
+  ch.push(5);
+  auto v = ch.tryRecv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 5);
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(Channel, MoveOnlyPayload) {
+  Scheduler sched;
+  Channel<std::unique_ptr<int>> ch(sched);
+  std::unique_ptr<int> got;
+  auto reader = [&]() -> Task<> { got = co_await ch.recv(); };
+  sched.spawn(reader());
+  ch.push(std::make_unique<int>(11));
+  sched.run();
+  ASSERT_TRUE(got);
+  EXPECT_EQ(*got, 11);
+}
+
+}  // namespace
+}  // namespace bgckpt::sim

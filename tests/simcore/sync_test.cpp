@@ -1,0 +1,138 @@
+#include "simcore/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bgckpt::sim {
+namespace {
+
+TEST(Gate, WaitersReleaseOnFire) {
+  Scheduler sched;
+  Gate gate(sched);
+  std::vector<double> times;
+  auto body = [](Scheduler& s, Gate& g, std::vector<double>& out) -> Task<> {
+    co_await g.wait();
+    out.push_back(s.now());
+  };
+  for (int i = 0; i < 3; ++i) sched.spawn(body(sched, gate, times));
+  sched.scheduleCall(4.0, [&] { gate.fire(); });
+  sched.run();
+  ASSERT_EQ(times.size(), 3u);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 4.0);
+}
+
+TEST(Gate, WaitAfterFireCompletesImmediately) {
+  Scheduler sched;
+  Gate gate(sched);
+  gate.fire();
+  double t = -1.0;
+  auto body = [&]() -> Task<> {
+    co_await sched.delay(2.0);
+    co_await gate.wait();
+    t = sched.now();
+  };
+  sched.spawn(body());
+  sched.run();
+  EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(Gate, DoubleFireIsIdempotent) {
+  Scheduler sched;
+  Gate gate(sched);
+  gate.fire();
+  gate.fire();
+  EXPECT_TRUE(gate.fired());
+}
+
+TEST(Barrier, AllPartiesReleaseTogether) {
+  Scheduler sched;
+  Barrier bar(sched, 4);
+  std::vector<double> times;
+  auto body = [](Scheduler& s, Barrier& b, std::vector<double>& out,
+                 int i) -> Task<> {
+    co_await s.delay(static_cast<double>(i));
+    co_await b.arriveAndWait();
+    out.push_back(s.now());
+  };
+  for (int i = 0; i < 4; ++i) sched.spawn(body(sched, bar, times, i));
+  sched.run();
+  ASSERT_EQ(times.size(), 4u);
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 3.0);  // slowest arrival
+}
+
+TEST(Barrier, CyclicReuseAcrossRounds) {
+  Scheduler sched;
+  constexpr int kParties = 3;
+  constexpr int kRounds = 5;
+  Barrier bar(sched, kParties);
+  std::vector<int> roundsAt;  // completed round count per release
+  auto body = [](Scheduler& s, Barrier& b, std::vector<int>& out,
+                 int p) -> Task<> {
+    for (int r = 0; r < kRounds; ++r) {
+      co_await s.delay(static_cast<double>(p) * 0.1 + 0.01);
+      co_await b.arriveAndWait();
+      out.push_back(r);
+    }
+  };
+  for (int p = 0; p < kParties; ++p) sched.spawn(body(sched, bar, roundsAt, p));
+  sched.run();
+  ASSERT_EQ(roundsAt.size(), static_cast<size_t>(kParties * kRounds));
+  // Every party must have finished round r before any enters round r+1.
+  for (int r = 0; r < kRounds; ++r)
+    for (int p = 0; p < kParties; ++p)
+      EXPECT_EQ(roundsAt[static_cast<size_t>(r * kParties + p)], r);
+  EXPECT_EQ(sched.liveRoots(), 0u);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Scheduler sched;
+  Barrier bar(sched, 1);
+  int passes = 0;
+  auto body = [&]() -> Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await bar.arriveAndWait();
+      ++passes;
+    }
+  };
+  sched.spawn(body());
+  sched.run();
+  EXPECT_EQ(passes, 10);
+}
+
+TEST(WaitGroup, JoinsAllWorkers) {
+  Scheduler sched;
+  WaitGroup wg(sched);
+  double joinTime = -1.0;
+  auto worker = [](Scheduler& s, WaitGroup& w, int i) -> Task<> {
+    co_await s.delay(static_cast<double>(i));
+    w.done();
+  };
+  for (int i = 1; i <= 4; ++i) {
+    wg.add();
+    sched.spawn(worker(sched, wg, i));
+  }
+  auto joiner = [&]() -> Task<> {
+    co_await wg.wait();
+    joinTime = sched.now();
+  };
+  sched.spawn(joiner());
+  sched.run();
+  EXPECT_DOUBLE_EQ(joinTime, 4.0);
+}
+
+TEST(WaitGroup, WaitWithNoWorkCompletesImmediately) {
+  Scheduler sched;
+  WaitGroup wg(sched);
+  bool done = false;
+  auto body = [&]() -> Task<> {
+    co_await wg.wait();
+    done = true;
+  };
+  sched.spawn(body());
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace bgckpt::sim

@@ -1,0 +1,40 @@
+#include "simcore/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::sim {
+namespace {
+
+TEST(Units, Constants) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(GB, 1000000000u);
+}
+
+TEST(Units, TransferTime) {
+  // 1 GB at 1 GB/s is one second.
+  EXPECT_DOUBLE_EQ(transferTime(GB, 1e9), 1.0);
+  // 425 MB/s torus link moving 4 MiB.
+  EXPECT_NEAR(transferTime(4 * MiB, 425e6), 0.00987, 1e-4);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512.00 B");
+  EXPECT_EQ(formatBytes(1536), "1.50 KiB");
+  EXPECT_EQ(formatBytes(156 * GiB), "156.00 GiB");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(formatBandwidth(13.2e9), "13.20 GB/s");
+  EXPECT_EQ(formatBandwidth(251e12), "251.00 TB/s");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(formatDuration(12.345), "12.345 s");
+  EXPECT_EQ(formatDuration(0.00456), "4.560 ms");
+  EXPECT_EQ(formatDuration(7.8e-6), "7.800 us");
+}
+
+}  // namespace
+}  // namespace bgckpt::sim
