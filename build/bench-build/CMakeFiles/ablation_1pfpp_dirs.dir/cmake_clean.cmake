@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_1pfpp_dirs"
+  "../bench/ablation_1pfpp_dirs.pdb"
+  "CMakeFiles/ablation_1pfpp_dirs.dir/ablation_1pfpp_dirs.cpp.o"
+  "CMakeFiles/ablation_1pfpp_dirs.dir/ablation_1pfpp_dirs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_1pfpp_dirs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

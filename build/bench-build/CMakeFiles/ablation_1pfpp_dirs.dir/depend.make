@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_1pfpp_dirs.
+# This may be replaced when dependencies are built.

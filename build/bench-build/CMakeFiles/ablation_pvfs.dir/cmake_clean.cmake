@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pvfs"
+  "../bench/ablation_pvfs.pdb"
+  "CMakeFiles/ablation_pvfs.dir/ablation_pvfs.cpp.o"
+  "CMakeFiles/ablation_pvfs.dir/ablation_pvfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

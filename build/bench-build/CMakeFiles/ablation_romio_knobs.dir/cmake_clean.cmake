@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_romio_knobs"
+  "../bench/ablation_romio_knobs.pdb"
+  "CMakeFiles/ablation_romio_knobs.dir/ablation_romio_knobs.cpp.o"
+  "CMakeFiles/ablation_romio_knobs.dir/ablation_romio_knobs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_romio_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

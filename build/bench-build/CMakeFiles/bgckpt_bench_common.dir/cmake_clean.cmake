@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_bench_common.dir/common.cpp.o"
+  "CMakeFiles/bgckpt_bench_common.dir/common.cpp.o.d"
+  "libbgckpt_bench_common.a"
+  "libbgckpt_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

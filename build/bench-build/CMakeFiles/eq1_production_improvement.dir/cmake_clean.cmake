@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eq1_production_improvement"
+  "../bench/eq1_production_improvement.pdb"
+  "CMakeFiles/eq1_production_improvement.dir/eq1_production_improvement.cpp.o"
+  "CMakeFiles/eq1_production_improvement.dir/eq1_production_improvement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq1_production_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

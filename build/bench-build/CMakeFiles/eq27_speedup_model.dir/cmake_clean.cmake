@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/eq27_speedup_model"
+  "../bench/eq27_speedup_model.pdb"
+  "CMakeFiles/eq27_speedup_model.dir/eq27_speedup_model.cpp.o"
+  "CMakeFiles/eq27_speedup_model.dir/eq27_speedup_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq27_speedup_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_131k_forecast"
+  "../bench/extension_131k_forecast.pdb"
+  "CMakeFiles/extension_131k_forecast.dir/extension_131k_forecast.cpp.o"
+  "CMakeFiles/extension_131k_forecast.dir/extension_131k_forecast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_131k_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_optimal_cadence"
+  "../bench/extension_optimal_cadence.pdb"
+  "CMakeFiles/extension_optimal_cadence.dir/extension_optimal_cadence.cpp.o"
+  "CMakeFiles/extension_optimal_cadence.dir/extension_optimal_cadence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_optimal_cadence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

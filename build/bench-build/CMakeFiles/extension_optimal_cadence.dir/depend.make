@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_optimal_cadence.
+# This may be replaced when dependencies are built.

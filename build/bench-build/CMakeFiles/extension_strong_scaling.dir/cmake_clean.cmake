@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_strong_scaling"
+  "../bench/extension_strong_scaling.pdb"
+  "CMakeFiles/extension_strong_scaling.dir/extension_strong_scaling.cpp.o"
+  "CMakeFiles/extension_strong_scaling.dir/extension_strong_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

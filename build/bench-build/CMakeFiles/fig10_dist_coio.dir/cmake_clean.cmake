@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_dist_coio"
+  "../bench/fig10_dist_coio.pdb"
+  "CMakeFiles/fig10_dist_coio.dir/fig10_dist_coio.cpp.o"
+  "CMakeFiles/fig10_dist_coio.dir/fig10_dist_coio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dist_coio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_dist_rbio"
+  "../bench/fig11_dist_rbio.pdb"
+  "CMakeFiles/fig11_dist_rbio.dir/fig11_dist_rbio.cpp.o"
+  "CMakeFiles/fig11_dist_rbio.dir/fig11_dist_rbio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dist_rbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

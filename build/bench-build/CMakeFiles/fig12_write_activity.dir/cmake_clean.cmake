@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_write_activity"
+  "../bench/fig12_write_activity.pdb"
+  "CMakeFiles/fig12_write_activity.dir/fig12_write_activity.cpp.o"
+  "CMakeFiles/fig12_write_activity.dir/fig12_write_activity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_write_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

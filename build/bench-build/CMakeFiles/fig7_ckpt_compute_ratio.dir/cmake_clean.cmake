@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_ckpt_compute_ratio"
+  "../bench/fig7_ckpt_compute_ratio.pdb"
+  "CMakeFiles/fig7_ckpt_compute_ratio.dir/fig7_ckpt_compute_ratio.cpp.o"
+  "CMakeFiles/fig7_ckpt_compute_ratio.dir/fig7_ckpt_compute_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ckpt_compute_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

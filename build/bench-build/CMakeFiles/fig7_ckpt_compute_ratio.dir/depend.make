@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_ckpt_compute_ratio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_rbio_nf_sweep"
+  "../bench/fig8_rbio_nf_sweep.pdb"
+  "CMakeFiles/fig8_rbio_nf_sweep.dir/fig8_rbio_nf_sweep.cpp.o"
+  "CMakeFiles/fig8_rbio_nf_sweep.dir/fig8_rbio_nf_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rbio_nf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

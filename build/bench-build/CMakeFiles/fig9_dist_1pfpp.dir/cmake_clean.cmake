@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_dist_1pfpp"
+  "../bench/fig9_dist_1pfpp.pdb"
+  "CMakeFiles/fig9_dist_1pfpp.dir/fig9_dist_1pfpp.cpp.o"
+  "CMakeFiles/fig9_dist_1pfpp.dir/fig9_dist_1pfpp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dist_1pfpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

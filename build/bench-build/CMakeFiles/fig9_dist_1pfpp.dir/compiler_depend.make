@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_dist_1pfpp.
+# This may be replaced when dependencies are built.

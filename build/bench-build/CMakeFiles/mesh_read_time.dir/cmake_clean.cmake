@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/mesh_read_time"
+  "../bench/mesh_read_time.pdb"
+  "CMakeFiles/mesh_read_time.dir/mesh_read_time.cpp.o"
+  "CMakeFiles/mesh_read_time.dir/mesh_read_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_read_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

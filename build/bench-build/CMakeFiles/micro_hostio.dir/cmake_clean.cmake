@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hostio"
+  "../bench/micro_hostio.pdb"
+  "CMakeFiles/micro_hostio.dir/micro_hostio.cpp.o"
+  "CMakeFiles/micro_hostio.dir/micro_hostio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hostio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

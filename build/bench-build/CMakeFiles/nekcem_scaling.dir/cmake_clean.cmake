@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/nekcem_scaling"
+  "../bench/nekcem_scaling.pdb"
+  "CMakeFiles/nekcem_scaling.dir/nekcem_scaling.cpp.o"
+  "CMakeFiles/nekcem_scaling.dir/nekcem_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nekcem_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

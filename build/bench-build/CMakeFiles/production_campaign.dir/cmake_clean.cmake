@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/production_campaign"
+  "../bench/production_campaign.pdb"
+  "CMakeFiles/production_campaign.dir/production_campaign.cpp.o"
+  "CMakeFiles/production_campaign.dir/production_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

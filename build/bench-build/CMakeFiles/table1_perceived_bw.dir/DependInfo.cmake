@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_perceived_bw.cpp" "bench-build/CMakeFiles/table1_perceived_bw.dir/table1_perceived_bw.cpp.o" "gcc" "bench-build/CMakeFiles/table1_perceived_bw.dir/table1_perceived_bw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bgckpt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostio/CMakeFiles/bgckpt_hostio.dir/DependInfo.cmake"
+  "/root/repo/build/src/iolib/CMakeFiles/bgckpt_iolib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/bgckpt_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/bgckpt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssim/CMakeFiles/bgckpt_fssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/bgckpt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storsim/CMakeFiles/bgckpt_storsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bgckpt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/bgckpt_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/bgckpt_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bgckpt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/nekcem/CMakeFiles/bgckpt_nekcem.dir/DependInfo.cmake"
+  "/root/repo/build/src/iofmt/CMakeFiles/bgckpt_iofmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

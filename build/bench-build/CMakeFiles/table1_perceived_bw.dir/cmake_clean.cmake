@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_perceived_bw"
+  "../bench/table1_perceived_bw.pdb"
+  "CMakeFiles/table1_perceived_bw.dir/table1_perceived_bw.cpp.o"
+  "CMakeFiles/table1_perceived_bw.dir/table1_perceived_bw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_perceived_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

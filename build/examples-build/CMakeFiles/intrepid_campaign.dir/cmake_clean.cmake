@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/intrepid_campaign"
+  "../examples/intrepid_campaign.pdb"
+  "CMakeFiles/intrepid_campaign.dir/intrepid_campaign.cpp.o"
+  "CMakeFiles/intrepid_campaign.dir/intrepid_campaign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrepid_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/restart_reader"
+  "../examples/restart_reader.pdb"
+  "CMakeFiles/restart_reader.dir/restart_reader.cpp.o"
+  "CMakeFiles/restart_reader.dir/restart_reader.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

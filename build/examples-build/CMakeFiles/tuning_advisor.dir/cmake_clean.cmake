@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/tuning_advisor"
+  "../examples/tuning_advisor.pdb"
+  "CMakeFiles/tuning_advisor.dir/tuning_advisor.cpp.o"
+  "CMakeFiles/tuning_advisor.dir/tuning_advisor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/waveguide_checkpoint"
+  "../examples/waveguide_checkpoint.pdb"
+  "CMakeFiles/waveguide_checkpoint.dir/waveguide_checkpoint.cpp.o"
+  "CMakeFiles/waveguide_checkpoint.dir/waveguide_checkpoint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waveguide_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii.cpp" "src/analysis/CMakeFiles/bgckpt_analysis.dir/ascii.cpp.o" "gcc" "src/analysis/CMakeFiles/bgckpt_analysis.dir/ascii.cpp.o.d"
+  "/root/repo/src/analysis/checkpoint_interval.cpp" "src/analysis/CMakeFiles/bgckpt_analysis.dir/checkpoint_interval.cpp.o" "gcc" "src/analysis/CMakeFiles/bgckpt_analysis.dir/checkpoint_interval.cpp.o.d"
+  "/root/repo/src/analysis/models.cpp" "src/analysis/CMakeFiles/bgckpt_analysis.dir/models.cpp.o" "gcc" "src/analysis/CMakeFiles/bgckpt_analysis.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

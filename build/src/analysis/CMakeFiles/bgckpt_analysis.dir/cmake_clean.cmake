@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_analysis.dir/ascii.cpp.o"
+  "CMakeFiles/bgckpt_analysis.dir/ascii.cpp.o.d"
+  "CMakeFiles/bgckpt_analysis.dir/checkpoint_interval.cpp.o"
+  "CMakeFiles/bgckpt_analysis.dir/checkpoint_interval.cpp.o.d"
+  "CMakeFiles/bgckpt_analysis.dir/models.cpp.o"
+  "CMakeFiles/bgckpt_analysis.dir/models.cpp.o.d"
+  "libbgckpt_analysis.a"
+  "libbgckpt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fssim/image.cpp" "src/fssim/CMakeFiles/bgckpt_fssim.dir/image.cpp.o" "gcc" "src/fssim/CMakeFiles/bgckpt_fssim.dir/image.cpp.o.d"
+  "/root/repo/src/fssim/parallel_fs.cpp" "src/fssim/CMakeFiles/bgckpt_fssim.dir/parallel_fs.cpp.o" "gcc" "src/fssim/CMakeFiles/bgckpt_fssim.dir/parallel_fs.cpp.o.d"
+  "/root/repo/src/fssim/token.cpp" "src/fssim/CMakeFiles/bgckpt_fssim.dir/token.cpp.o" "gcc" "src/fssim/CMakeFiles/bgckpt_fssim.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storsim/CMakeFiles/bgckpt_storsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/bgckpt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bgckpt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/bgckpt_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

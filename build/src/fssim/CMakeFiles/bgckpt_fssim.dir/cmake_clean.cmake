@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_fssim.dir/image.cpp.o"
+  "CMakeFiles/bgckpt_fssim.dir/image.cpp.o.d"
+  "CMakeFiles/bgckpt_fssim.dir/parallel_fs.cpp.o"
+  "CMakeFiles/bgckpt_fssim.dir/parallel_fs.cpp.o.d"
+  "CMakeFiles/bgckpt_fssim.dir/token.cpp.o"
+  "CMakeFiles/bgckpt_fssim.dir/token.cpp.o.d"
+  "libbgckpt_fssim.a"
+  "libbgckpt_fssim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_fssim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostio/host_checkpoint.cpp" "src/hostio/CMakeFiles/bgckpt_hostio.dir/host_checkpoint.cpp.o" "gcc" "src/hostio/CMakeFiles/bgckpt_hostio.dir/host_checkpoint.cpp.o.d"
+  "/root/repo/src/hostio/solver_io.cpp" "src/hostio/CMakeFiles/bgckpt_hostio.dir/solver_io.cpp.o" "gcc" "src/hostio/CMakeFiles/bgckpt_hostio.dir/solver_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iofmt/CMakeFiles/bgckpt_iofmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nekcem/CMakeFiles/bgckpt_nekcem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

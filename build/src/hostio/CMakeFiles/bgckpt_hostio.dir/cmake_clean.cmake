@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_hostio.dir/host_checkpoint.cpp.o"
+  "CMakeFiles/bgckpt_hostio.dir/host_checkpoint.cpp.o.d"
+  "CMakeFiles/bgckpt_hostio.dir/solver_io.cpp.o"
+  "CMakeFiles/bgckpt_hostio.dir/solver_io.cpp.o.d"
+  "libbgckpt_hostio.a"
+  "libbgckpt_hostio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_hostio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_iofmt.dir/file_io.cpp.o"
+  "CMakeFiles/bgckpt_iofmt.dir/file_io.cpp.o.d"
+  "CMakeFiles/bgckpt_iofmt.dir/format.cpp.o"
+  "CMakeFiles/bgckpt_iofmt.dir/format.cpp.o.d"
+  "libbgckpt_iofmt.a"
+  "libbgckpt_iofmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_iofmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

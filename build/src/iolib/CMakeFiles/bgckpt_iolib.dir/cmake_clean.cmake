@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_iolib.dir/layout.cpp.o"
+  "CMakeFiles/bgckpt_iolib.dir/layout.cpp.o.d"
+  "CMakeFiles/bgckpt_iolib.dir/multilevel.cpp.o"
+  "CMakeFiles/bgckpt_iolib.dir/multilevel.cpp.o.d"
+  "CMakeFiles/bgckpt_iolib.dir/restart.cpp.o"
+  "CMakeFiles/bgckpt_iolib.dir/restart.cpp.o.d"
+  "CMakeFiles/bgckpt_iolib.dir/spec.cpp.o"
+  "CMakeFiles/bgckpt_iolib.dir/spec.cpp.o.d"
+  "CMakeFiles/bgckpt_iolib.dir/stack.cpp.o"
+  "CMakeFiles/bgckpt_iolib.dir/stack.cpp.o.d"
+  "CMakeFiles/bgckpt_iolib.dir/strategies.cpp.o"
+  "CMakeFiles/bgckpt_iolib.dir/strategies.cpp.o.d"
+  "libbgckpt_iolib.a"
+  "libbgckpt_iolib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_iolib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

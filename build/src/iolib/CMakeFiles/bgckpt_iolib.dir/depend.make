@@ -1,0 +1,2 @@
+# Empty dependencies file for bgckpt_iolib.
+# This may be replaced when dependencies are built.

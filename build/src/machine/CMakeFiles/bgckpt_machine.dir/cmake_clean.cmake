@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_machine.dir/bgp.cpp.o"
+  "CMakeFiles/bgckpt_machine.dir/bgp.cpp.o.d"
+  "libbgckpt_machine.a"
+  "libbgckpt_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_mpiio.dir/file.cpp.o"
+  "CMakeFiles/bgckpt_mpiio.dir/file.cpp.o.d"
+  "libbgckpt_mpiio.a"
+  "libbgckpt_mpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

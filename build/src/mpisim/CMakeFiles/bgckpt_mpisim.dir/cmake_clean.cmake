@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/bgckpt_mpisim.dir/comm.cpp.o.d"
+  "libbgckpt_mpisim.a"
+  "libbgckpt_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

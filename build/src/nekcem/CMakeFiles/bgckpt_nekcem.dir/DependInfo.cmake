@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nekcem/gll.cpp" "src/nekcem/CMakeFiles/bgckpt_nekcem.dir/gll.cpp.o" "gcc" "src/nekcem/CMakeFiles/bgckpt_nekcem.dir/gll.cpp.o.d"
+  "/root/repo/src/nekcem/maxwell.cpp" "src/nekcem/CMakeFiles/bgckpt_nekcem.dir/maxwell.cpp.o" "gcc" "src/nekcem/CMakeFiles/bgckpt_nekcem.dir/maxwell.cpp.o.d"
+  "/root/repo/src/nekcem/perf_model.cpp" "src/nekcem/CMakeFiles/bgckpt_nekcem.dir/perf_model.cpp.o" "gcc" "src/nekcem/CMakeFiles/bgckpt_nekcem.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

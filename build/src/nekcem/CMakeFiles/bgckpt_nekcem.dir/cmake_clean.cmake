@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_nekcem.dir/gll.cpp.o"
+  "CMakeFiles/bgckpt_nekcem.dir/gll.cpp.o.d"
+  "CMakeFiles/bgckpt_nekcem.dir/maxwell.cpp.o"
+  "CMakeFiles/bgckpt_nekcem.dir/maxwell.cpp.o.d"
+  "CMakeFiles/bgckpt_nekcem.dir/perf_model.cpp.o"
+  "CMakeFiles/bgckpt_nekcem.dir/perf_model.cpp.o.d"
+  "libbgckpt_nekcem.a"
+  "libbgckpt_nekcem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_nekcem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_netsim.dir/ion.cpp.o"
+  "CMakeFiles/bgckpt_netsim.dir/ion.cpp.o.d"
+  "CMakeFiles/bgckpt_netsim.dir/torus.cpp.o"
+  "CMakeFiles/bgckpt_netsim.dir/torus.cpp.o.d"
+  "libbgckpt_netsim.a"
+  "libbgckpt_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_profiling.dir/profile.cpp.o"
+  "CMakeFiles/bgckpt_profiling.dir/profile.cpp.o.d"
+  "CMakeFiles/bgckpt_profiling.dir/report.cpp.o"
+  "CMakeFiles/bgckpt_profiling.dir/report.cpp.o.d"
+  "libbgckpt_profiling.a"
+  "libbgckpt_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/random.cpp" "src/simcore/CMakeFiles/bgckpt_simcore.dir/random.cpp.o" "gcc" "src/simcore/CMakeFiles/bgckpt_simcore.dir/random.cpp.o.d"
+  "/root/repo/src/simcore/scheduler.cpp" "src/simcore/CMakeFiles/bgckpt_simcore.dir/scheduler.cpp.o" "gcc" "src/simcore/CMakeFiles/bgckpt_simcore.dir/scheduler.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/simcore/CMakeFiles/bgckpt_simcore.dir/stats.cpp.o" "gcc" "src/simcore/CMakeFiles/bgckpt_simcore.dir/stats.cpp.o.d"
+  "/root/repo/src/simcore/units.cpp" "src/simcore/CMakeFiles/bgckpt_simcore.dir/units.cpp.o" "gcc" "src/simcore/CMakeFiles/bgckpt_simcore.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

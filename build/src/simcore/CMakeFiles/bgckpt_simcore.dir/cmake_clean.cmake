@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_simcore.dir/random.cpp.o"
+  "CMakeFiles/bgckpt_simcore.dir/random.cpp.o.d"
+  "CMakeFiles/bgckpt_simcore.dir/scheduler.cpp.o"
+  "CMakeFiles/bgckpt_simcore.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bgckpt_simcore.dir/stats.cpp.o"
+  "CMakeFiles/bgckpt_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/bgckpt_simcore.dir/units.cpp.o"
+  "CMakeFiles/bgckpt_simcore.dir/units.cpp.o.d"
+  "libbgckpt_simcore.a"
+  "libbgckpt_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbgckpt_simcore.a"
+)

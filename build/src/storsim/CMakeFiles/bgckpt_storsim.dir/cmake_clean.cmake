@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgckpt_storsim.dir/fabric.cpp.o"
+  "CMakeFiles/bgckpt_storsim.dir/fabric.cpp.o.d"
+  "libbgckpt_storsim.a"
+  "libbgckpt_storsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgckpt_storsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("machine")
+subdirs("netsim")
+subdirs("storsim")
+subdirs("fssim")
+subdirs("mpisim")
+subdirs("mpiio")
+subdirs("iolib")
+subdirs("nekcem")
+subdirs("iofmt")
+subdirs("hostio")
+subdirs("analysis")
+subdirs("profiling")
+subdirs("integration")

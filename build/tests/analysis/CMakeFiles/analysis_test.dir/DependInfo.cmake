@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/ascii_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/ascii_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/ascii_test.cpp.o.d"
+  "/root/repo/tests/analysis/checkpoint_interval_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/checkpoint_interval_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/checkpoint_interval_test.cpp.o.d"
+  "/root/repo/tests/analysis/models_test.cpp" "tests/analysis/CMakeFiles/analysis_test.dir/models_test.cpp.o" "gcc" "tests/analysis/CMakeFiles/analysis_test.dir/models_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bgckpt_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fssim_test.dir/image_test.cpp.o"
+  "CMakeFiles/fssim_test.dir/image_test.cpp.o.d"
+  "CMakeFiles/fssim_test.dir/parallel_fs_test.cpp.o"
+  "CMakeFiles/fssim_test.dir/parallel_fs_test.cpp.o.d"
+  "CMakeFiles/fssim_test.dir/storm_properties_test.cpp.o"
+  "CMakeFiles/fssim_test.dir/storm_properties_test.cpp.o.d"
+  "CMakeFiles/fssim_test.dir/token_test.cpp.o"
+  "CMakeFiles/fssim_test.dir/token_test.cpp.o.d"
+  "fssim_test"
+  "fssim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fssim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

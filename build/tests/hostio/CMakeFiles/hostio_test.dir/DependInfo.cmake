@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hostio/host_checkpoint_test.cpp" "tests/hostio/CMakeFiles/hostio_test.dir/host_checkpoint_test.cpp.o" "gcc" "tests/hostio/CMakeFiles/hostio_test.dir/host_checkpoint_test.cpp.o.d"
+  "/root/repo/tests/hostio/solver_io_test.cpp" "tests/hostio/CMakeFiles/hostio_test.dir/solver_io_test.cpp.o" "gcc" "tests/hostio/CMakeFiles/hostio_test.dir/solver_io_test.cpp.o.d"
+  "/root/repo/tests/hostio/stress_test.cpp" "tests/hostio/CMakeFiles/hostio_test.dir/stress_test.cpp.o" "gcc" "tests/hostio/CMakeFiles/hostio_test.dir/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hostio/CMakeFiles/bgckpt_hostio.dir/DependInfo.cmake"
+  "/root/repo/build/src/iofmt/CMakeFiles/bgckpt_iofmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nekcem/CMakeFiles/bgckpt_nekcem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostio_test.dir/host_checkpoint_test.cpp.o"
+  "CMakeFiles/hostio_test.dir/host_checkpoint_test.cpp.o.d"
+  "CMakeFiles/hostio_test.dir/solver_io_test.cpp.o"
+  "CMakeFiles/hostio_test.dir/solver_io_test.cpp.o.d"
+  "CMakeFiles/hostio_test.dir/stress_test.cpp.o"
+  "CMakeFiles/hostio_test.dir/stress_test.cpp.o.d"
+  "hostio_test"
+  "hostio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

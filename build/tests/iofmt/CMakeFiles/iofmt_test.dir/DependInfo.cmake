@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iofmt/corruption_test.cpp" "tests/iofmt/CMakeFiles/iofmt_test.dir/corruption_test.cpp.o" "gcc" "tests/iofmt/CMakeFiles/iofmt_test.dir/corruption_test.cpp.o.d"
+  "/root/repo/tests/iofmt/file_io_test.cpp" "tests/iofmt/CMakeFiles/iofmt_test.dir/file_io_test.cpp.o" "gcc" "tests/iofmt/CMakeFiles/iofmt_test.dir/file_io_test.cpp.o.d"
+  "/root/repo/tests/iofmt/format_test.cpp" "tests/iofmt/CMakeFiles/iofmt_test.dir/format_test.cpp.o" "gcc" "tests/iofmt/CMakeFiles/iofmt_test.dir/format_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iofmt/CMakeFiles/bgckpt_iofmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

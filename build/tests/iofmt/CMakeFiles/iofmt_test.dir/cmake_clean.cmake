@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iofmt_test.dir/corruption_test.cpp.o"
+  "CMakeFiles/iofmt_test.dir/corruption_test.cpp.o.d"
+  "CMakeFiles/iofmt_test.dir/file_io_test.cpp.o"
+  "CMakeFiles/iofmt_test.dir/file_io_test.cpp.o.d"
+  "CMakeFiles/iofmt_test.dir/format_test.cpp.o"
+  "CMakeFiles/iofmt_test.dir/format_test.cpp.o.d"
+  "iofmt_test"
+  "iofmt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iofmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

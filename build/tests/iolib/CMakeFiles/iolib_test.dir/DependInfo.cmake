@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/iolib/campaign_test.cpp" "tests/iolib/CMakeFiles/iolib_test.dir/campaign_test.cpp.o" "gcc" "tests/iolib/CMakeFiles/iolib_test.dir/campaign_test.cpp.o.d"
+  "/root/repo/tests/iolib/layout_test.cpp" "tests/iolib/CMakeFiles/iolib_test.dir/layout_test.cpp.o" "gcc" "tests/iolib/CMakeFiles/iolib_test.dir/layout_test.cpp.o.d"
+  "/root/repo/tests/iolib/multilevel_test.cpp" "tests/iolib/CMakeFiles/iolib_test.dir/multilevel_test.cpp.o" "gcc" "tests/iolib/CMakeFiles/iolib_test.dir/multilevel_test.cpp.o.d"
+  "/root/repo/tests/iolib/restart_test.cpp" "tests/iolib/CMakeFiles/iolib_test.dir/restart_test.cpp.o" "gcc" "tests/iolib/CMakeFiles/iolib_test.dir/restart_test.cpp.o.d"
+  "/root/repo/tests/iolib/strategies_test.cpp" "tests/iolib/CMakeFiles/iolib_test.dir/strategies_test.cpp.o" "gcc" "tests/iolib/CMakeFiles/iolib_test.dir/strategies_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iolib/CMakeFiles/bgckpt_iolib.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpiio/CMakeFiles/bgckpt_mpiio.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/bgckpt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fssim/CMakeFiles/bgckpt_fssim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/bgckpt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storsim/CMakeFiles/bgckpt_storsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bgckpt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiling/CMakeFiles/bgckpt_profiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/bgckpt_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

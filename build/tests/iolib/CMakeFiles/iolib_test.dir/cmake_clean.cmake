@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iolib_test.dir/campaign_test.cpp.o"
+  "CMakeFiles/iolib_test.dir/campaign_test.cpp.o.d"
+  "CMakeFiles/iolib_test.dir/layout_test.cpp.o"
+  "CMakeFiles/iolib_test.dir/layout_test.cpp.o.d"
+  "CMakeFiles/iolib_test.dir/multilevel_test.cpp.o"
+  "CMakeFiles/iolib_test.dir/multilevel_test.cpp.o.d"
+  "CMakeFiles/iolib_test.dir/restart_test.cpp.o"
+  "CMakeFiles/iolib_test.dir/restart_test.cpp.o.d"
+  "CMakeFiles/iolib_test.dir/strategies_test.cpp.o"
+  "CMakeFiles/iolib_test.dir/strategies_test.cpp.o.d"
+  "iolib_test"
+  "iolib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iolib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

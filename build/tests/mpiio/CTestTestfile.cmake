@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpiio
+# Build directory: /root/repo/build/tests/mpiio
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[mpiio_test]=] "/root/repo/build/tests/mpiio/mpiio_test")
+set_tests_properties([=[mpiio_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/mpiio/CMakeLists.txt;1;bgckpt_add_test;/root/repo/tests/mpiio/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpisim/comm_test.cpp" "tests/mpisim/CMakeFiles/mpisim_test.dir/comm_test.cpp.o" "gcc" "tests/mpisim/CMakeFiles/mpisim_test.dir/comm_test.cpp.o.d"
+  "/root/repo/tests/mpisim/stress_test.cpp" "tests/mpisim/CMakeFiles/mpisim_test.dir/stress_test.cpp.o" "gcc" "tests/mpisim/CMakeFiles/mpisim_test.dir/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/bgckpt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/bgckpt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bgckpt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/bgckpt_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpisim_test.dir/comm_test.cpp.o"
+  "CMakeFiles/mpisim_test.dir/comm_test.cpp.o.d"
+  "CMakeFiles/mpisim_test.dir/stress_test.cpp.o"
+  "CMakeFiles/mpisim_test.dir/stress_test.cpp.o.d"
+  "mpisim_test"
+  "mpisim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

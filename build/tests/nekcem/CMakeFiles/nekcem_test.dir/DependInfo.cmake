@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nekcem/gll_test.cpp" "tests/nekcem/CMakeFiles/nekcem_test.dir/gll_test.cpp.o" "gcc" "tests/nekcem/CMakeFiles/nekcem_test.dir/gll_test.cpp.o.d"
+  "/root/repo/tests/nekcem/integrator_test.cpp" "tests/nekcem/CMakeFiles/nekcem_test.dir/integrator_test.cpp.o" "gcc" "tests/nekcem/CMakeFiles/nekcem_test.dir/integrator_test.cpp.o.d"
+  "/root/repo/tests/nekcem/maxwell_test.cpp" "tests/nekcem/CMakeFiles/nekcem_test.dir/maxwell_test.cpp.o" "gcc" "tests/nekcem/CMakeFiles/nekcem_test.dir/maxwell_test.cpp.o.d"
+  "/root/repo/tests/nekcem/perf_model_test.cpp" "tests/nekcem/CMakeFiles/nekcem_test.dir/perf_model_test.cpp.o" "gcc" "tests/nekcem/CMakeFiles/nekcem_test.dir/perf_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nekcem/CMakeFiles/bgckpt_nekcem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nekcem_test.dir/gll_test.cpp.o"
+  "CMakeFiles/nekcem_test.dir/gll_test.cpp.o.d"
+  "CMakeFiles/nekcem_test.dir/integrator_test.cpp.o"
+  "CMakeFiles/nekcem_test.dir/integrator_test.cpp.o.d"
+  "CMakeFiles/nekcem_test.dir/maxwell_test.cpp.o"
+  "CMakeFiles/nekcem_test.dir/maxwell_test.cpp.o.d"
+  "CMakeFiles/nekcem_test.dir/perf_model_test.cpp.o"
+  "CMakeFiles/nekcem_test.dir/perf_model_test.cpp.o.d"
+  "nekcem_test"
+  "nekcem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nekcem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

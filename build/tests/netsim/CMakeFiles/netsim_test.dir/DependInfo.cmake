@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netsim/properties_test.cpp" "tests/netsim/CMakeFiles/netsim_test.dir/properties_test.cpp.o" "gcc" "tests/netsim/CMakeFiles/netsim_test.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/netsim/torus_test.cpp" "tests/netsim/CMakeFiles/netsim_test.dir/torus_test.cpp.o" "gcc" "tests/netsim/CMakeFiles/netsim_test.dir/torus_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/bgckpt_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/bgckpt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/bgckpt_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/netsim
+# Build directory: /root/repo/build/tests/netsim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[netsim_test]=] "/root/repo/build/tests/netsim/netsim_test")
+set_tests_properties([=[netsim_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/netsim/CMakeLists.txt;1;bgckpt_add_test;/root/repo/tests/netsim/CMakeLists.txt;0;")

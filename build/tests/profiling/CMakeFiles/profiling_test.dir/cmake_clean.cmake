@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_test.dir/profile_test.cpp.o"
+  "CMakeFiles/profiling_test.dir/profile_test.cpp.o.d"
+  "CMakeFiles/profiling_test.dir/report_test.cpp.o"
+  "CMakeFiles/profiling_test.dir/report_test.cpp.o.d"
+  "profiling_test"
+  "profiling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simcore/channel_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/channel_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/channel_test.cpp.o.d"
+  "/root/repo/tests/simcore/edge_cases_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/edge_cases_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/simcore/random_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/random_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/random_test.cpp.o.d"
+  "/root/repo/tests/simcore/resource_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/resource_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/resource_test.cpp.o.d"
+  "/root/repo/tests/simcore/scheduler_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/scheduler_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/simcore/stats_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/stats_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/simcore/sync_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/sync_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/sync_test.cpp.o.d"
+  "/root/repo/tests/simcore/task_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/task_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/task_test.cpp.o.d"
+  "/root/repo/tests/simcore/units_test.cpp" "tests/simcore/CMakeFiles/simcore_test.dir/units_test.cpp.o" "gcc" "tests/simcore/CMakeFiles/simcore_test.dir/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/bgckpt_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_test.dir/channel_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/channel_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/edge_cases_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/edge_cases_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/random_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/random_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/resource_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/resource_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/scheduler_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/scheduler_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/stats_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/stats_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/sync_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/sync_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/task_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/task_test.cpp.o.d"
+  "CMakeFiles/simcore_test.dir/units_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/units_test.cpp.o.d"
+  "simcore_test"
+  "simcore_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

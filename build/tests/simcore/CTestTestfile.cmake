@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/simcore
+# Build directory: /root/repo/build/tests/simcore
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[simcore_test]=] "/root/repo/build/tests/simcore/simcore_test")
+set_tests_properties([=[simcore_test]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/simcore/CMakeLists.txt;1;bgckpt_add_test;/root/repo/tests/simcore/CMakeLists.txt;0;")

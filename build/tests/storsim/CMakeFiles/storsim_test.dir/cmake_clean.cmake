@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storsim_test.dir/fabric_test.cpp.o"
+  "CMakeFiles/storsim_test.dir/fabric_test.cpp.o.d"
+  "storsim_test"
+  "storsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
