@@ -11,7 +11,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Ablation - 1PFPP with one file per directory",
          "Removing the shared-directory metadata storm from 1PFPP.");
 

@@ -21,12 +21,14 @@ double runWith(int np, const fs::FsConfig& cfg,
   iolib::SimStackOptions opt;
   opt.fsConfig = cfg;
   iolib::SimStack stack(np, opt);
+  bgckpt::bench::attachObs(stack);
   return runSim(stack, np, strategy).bandwidth;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Ablation - GPFS vs lock-free PVFS personality",
          "The comparison the paper had to skip (Section V-C1).");
 

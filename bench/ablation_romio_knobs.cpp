@@ -25,6 +25,7 @@ Outcome runHints(int np, const io::Hints& hints, int nf) {
   iolib::SimStackOptions opt;
   opt.noise = stor::NoiseModel::none();
   iolib::SimStack stack(np, opt);
+  bgckpt::bench::attachObs(stack);
   auto cfg = iolib::StrategyConfig::coIo(nf);
   cfg.hints = hints;
   const auto r = runSim(stack, np, cfg);
@@ -33,7 +34,8 @@ Outcome runHints(int np, const io::Hints& hints, int nf) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Ablation - ROMIO/BG-P knobs under coIO",
          "File-domain alignment, aggregators per pset, deferred open.");
 

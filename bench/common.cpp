@@ -1,8 +1,83 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/trace.hpp"
 
 namespace bgckpt::bench {
+
+namespace {
+
+std::string gTracePath;
+std::string gMetricsPath;
+int gStacksAttached = 0;
+
+/// "out/trace.json" -> "out/trace.2.json" for the second stack, etc.
+std::string numbered(const std::string& path, int n) {
+  if (n <= 1) return path;
+  const auto slash = path.find_last_of('/');
+  const auto dot = path.find_last_of('.');
+  const std::string tag = "." + std::to_string(n);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
+    return path + tag;
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+std::string swapJsonForCsv(const std::string& path) {
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0)
+    return path.substr(0, path.size() - 5) + ".csv";
+  return path + ".csv";
+}
+
+std::string jsonlTwin(const std::string& path) {
+  if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0)
+    return path + "l";
+  return path + ".jsonl";
+}
+
+}  // namespace
+
+void obsInit(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
+      gTracePath = argv[++i];
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      gTracePath = a + 8;
+    } else if (std::strcmp(a, "--metrics") == 0 && i + 1 < argc) {
+      gMetricsPath = argv[++i];
+    } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+      gMetricsPath = a + 10;
+    }
+  }
+}
+
+void attachObs(iolib::SimStack& stack) {
+  if (gTracePath.empty() && gMetricsPath.empty()) return;
+  const int n = ++gStacksAttached;
+  if (!gTracePath.empty()) {
+    const std::string chrome = numbered(gTracePath, n);
+    const std::string jsonl = jsonlTwin(chrome);
+    try {
+      stack.obs.addSink(obs::ChromeTraceSink::toFiles(chrome, jsonl));
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "error: --trace: %s\n", e.what());
+      std::exit(2);
+    }
+    std::printf("[obs] streaming Chrome trace to %s (+ %s)\n", chrome.c_str(),
+                jsonl.c_str());
+  }
+  if (!gMetricsPath.empty()) {
+    const std::string json = numbered(gMetricsPath, n);
+    stack.obs.exportOnDestroy(json, swapJsonForCsv(json));
+    std::printf("[obs] metrics will be written to %s and %s\n", json.c_str(),
+                swapJsonForCsv(json).c_str());
+  }
+}
 
 void banner(const std::string& artifact, const std::string& description) {
   std::printf("\n====================================================================\n");
@@ -43,6 +118,7 @@ iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
   iolib::SimStackOptions opt;
   opt.seed = seed;
   iolib::SimStack stack(np, opt);
+  attachObs(stack);
   return runSim(stack, np, cfg);
 }
 

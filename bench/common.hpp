@@ -33,6 +33,22 @@ int reportChecks(const std::vector<Check>& checks);
 std::string gbs(double bytesPerSecond);
 std::string secs(double seconds);
 
+/// Parse observability flags from the harness command line:
+///   --trace <file>     stream a Chrome trace_event JSON there (open the
+///                      file in Perfetto / chrome://tracing), plus a
+///                      <file>.jsonl event log for tools/trace_report
+///   --metrics <file>   export the metrics registry as JSON there, plus a
+///                      CSV twin (.json suffix swapped for .csv)
+/// Unknown arguments are ignored so harnesses stay forward-compatible.
+void obsInit(int argc, char** argv);
+
+/// Attach the requested trace/metrics sinks to a stack. Called by the
+/// fresh-stack runSim overload; harnesses that build their own SimStack
+/// (e.g. fig12) call it once per stack. Each attach after the first gets a
+/// numbered path suffix (".2", ".3", ...) so multi-stack harnesses emit one
+/// trace per stack. No-op when neither flag was given.
+void attachObs(iolib::SimStack& stack);
+
 /// Run one simulated checkpoint on a fresh Intrepid stack (paper noise
 /// conditions, fixed seed) and return the result.
 iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,

@@ -11,7 +11,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Equation (1) - production time improvement, rbIO vs 1PFPP",
          "improvement = (Ratio_1pfpp + nc) / (Ratio_rbIO + nc)");
 

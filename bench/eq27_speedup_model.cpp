@@ -9,7 +9,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Equations (2)-(7) - rbIO over coIO blocked-time speedup",
          "Speedup ~ (np/ng) * BW_rbIO/BW_coIO as lambda -> 0.");
 

@@ -13,7 +13,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Extension - forecast at 131,072 ranks (full Intrepid)",
          "Extrapolating Fig. 5 one doubling beyond the paper's data.");
 

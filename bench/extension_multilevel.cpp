@@ -13,7 +13,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Extension - SCR-style multilevel checkpointing",
          "Node-local RAM disk + partner mirror + periodic rbIO PFS drain.");
 
@@ -22,6 +23,7 @@ int main() {
               "PFS (rbIO)", "amortised (1:4)", "L1 speedup");
   for (int np : {16384, 32768, 65536}) {
     iolib::SimStack stack(np);
+    bgckpt::bench::attachObs(stack);
     const auto spec = iolib::CheckpointSpec::nekcemWeakScaling(np);
     iolib::MultilevelConfig cfg;  // defaults: partner copy, pfsEvery = 4
     const auto r = runMultilevelCheckpoint(stack, spec, cfg);

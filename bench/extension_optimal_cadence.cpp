@@ -12,7 +12,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Extension - optimal checkpoint cadence under failures",
          "Young/Daly theory driven by measured checkpoint costs at 64K.");
 

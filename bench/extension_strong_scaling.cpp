@@ -12,7 +12,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Extension - strong scaling at fixed ~39 GB checkpoint volume",
          "The reference-[3] methodology on the simulated Intrepid.");
 
@@ -42,6 +43,7 @@ int main() {
              {"rbIO nf=1024", iolib::StrategyConfig::rbIo(np / 1024, true)},
          }) {
       iolib::SimStack stack(np);
+      bgckpt::bench::attachObs(stack);
       const auto r = iolib::runCheckpoint(stack, spec, v.cfg);
       grid[v.name][np] = {r.bandwidth};
       std::printf("  %-16s %8s (makespan %s)\n", v.name,

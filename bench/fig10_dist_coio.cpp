@@ -16,7 +16,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 10 - I/O time distribution, coIO 64:1, 65,536 processors",
          "One checkpoint on a noisy shared filesystem.");
 
@@ -27,6 +28,7 @@ int main() {
   opt.noise.severeProbability = 6e-5;    // a couple of severe stalls
   opt.noise.severeFactorMedian = 400.0;  // RAID-rebuild-class episodes
   iolib::SimStack stack(kNp, opt);
+  bgckpt::bench::attachObs(stack);
   const auto r = runSim(stack, kNp, iolib::StrategyConfig::coIo(kNp / 64));
 
   sim::Sample sample;

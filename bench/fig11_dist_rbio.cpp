@@ -11,7 +11,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 11 - I/O time distribution, rbIO nf=ng, 65,536 processors",
          "Upper line: writers; lower line: workers.");
 

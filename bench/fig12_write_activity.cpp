@@ -11,14 +11,17 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 12 - write activity: rbIO (top) vs coIO 64:1 (bottom)",
          "32,768 processors; column shade = processes in a write call.");
 
   constexpr int kNp = 32768;
   iolib::SimStack rbStack(kNp);
+  bench::attachObs(rbStack);
   const auto rb = runSim(rbStack, kNp, iolib::StrategyConfig::rbIo(64, true));
   iolib::SimStack coStack(kNp);
+  bench::attachObs(coStack);
   const auto co = runSim(coStack, kNp, iolib::StrategyConfig::coIo(kNp / 64));
 
   const double horizon = std::max(rb.makespan, co.makespan);

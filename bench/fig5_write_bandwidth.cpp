@@ -10,7 +10,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 5 - write performance with NekCEM on Intrepid GPFS",
          "Bandwidth = total data / wall time of the slowest processor.");
 

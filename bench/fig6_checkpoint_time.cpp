@@ -8,7 +8,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 6 - overall time per checkpointing step",
          "Seconds per coordinated checkpoint; log-scaled bars. The paper's "
          "headline: ~100x reduction vs 1PFPP.");

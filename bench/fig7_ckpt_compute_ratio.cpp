@@ -13,7 +13,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 7 - T(checkpoint) / T(computation step)",
          "Smaller is better; rbIO stays flat while 1PFPP exceeds 1000.");
 

@@ -11,7 +11,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 8 - rbIO write performance vs number of files",
          "rbIO with nf = ng, sweeping the writer-group ratio.");
 

@@ -10,13 +10,15 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Figure 9 - I/O time distribution, 1PFPP, 16,384 processors",
          "Each point is one rank's wall-clock I/O time for one checkpoint.");
 
   constexpr int kNp = 16384;
   iolib::SimStackOptions opt;
   iolib::SimStack stack(kNp, opt);
+  bgckpt::bench::attachObs(stack);
   const auto r = runSim(stack, kNp, iolib::StrategyConfig::onePfpp());
 
   sim::Sample sample;

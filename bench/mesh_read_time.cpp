@@ -28,6 +28,7 @@ MeshReadResult simulateMeshRead(int ranks, std::uint64_t elements) {
   iolib::SimStackOptions opt;
   opt.noise = stor::NoiseModel::none();
   iolib::SimStack stack(ranks, opt);
+  bgckpt::bench::attachObs(stack);
   const sim::Bytes meshBytes =
       static_cast<sim::Bytes>(static_cast<double>(elements) *
                               kBytesPerElement);
@@ -59,7 +60,8 @@ MeshReadResult simulateMeshRead(int ranks, std::uint64_t elements) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Section III-B - global mesh read time at presetup",
          "Rank 0 reads, parses and broadcasts the global mesh files.");
 

@@ -14,7 +14,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Section III-A - NekCEM compute performance",
          "Performance-model anchors plus the real mini solver.");
 

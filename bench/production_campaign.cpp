@@ -13,7 +13,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Production campaign - end-to-end Eq. (1), measured directly",
          "60 compute steps, checkpoint every 20, 16,384 ranks.");
 
@@ -43,6 +44,7 @@ int main() {
     iolib::CampaignConfig cfg = base;
     cfg.strategy = row.strategy;
     iolib::SimStack stack(kNp);
+    bgckpt::bench::attachObs(stack);
     row.result = iolib::runCampaign(stack, spec, cfg);
     std::printf("  %-16s | %8.1f s | %10.1f s | %9.1f%%\n", row.name,
                 row.result.totalSeconds, row.result.ioOverheadSeconds,

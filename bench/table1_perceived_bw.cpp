@@ -9,7 +9,8 @@
 using namespace bgckpt;
 using namespace bgckpt::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bgckpt::bench::obsInit(argc, argv);
   banner("Table I - perceived write performance with rbIO",
          "np | median Isend (CPU cycles) | perceived bandwidth");
 

@@ -56,13 +56,28 @@ ParallelFsSim::ParallelFsSim(sim::Scheduler& sched,
                              const machine::Machine& mach,
                              net::IonForwarding& ion,
                              stor::StorageFabric& fabric, std::uint64_t seed,
-                             FsConfig config)
+                             FsConfig config, obs::Observability* obs)
     : sched_(sched),
       mach_(mach),
       ion_(ion),
       fabric_(fabric),
+      obs_(obs),
       rng_(seed, "fssim"),
-      config_(std::move(config)) {}
+      config_(std::move(config)) {
+  if (obs_) {
+    auto& m = obs_->metrics();
+    // Bin spans chosen for the paper's regimes: creates stretch to whole
+    // seconds under 1PFPP directory thrash; opens/closes are sub-ms
+    // metadata ops; writes reach seconds when servers queue.
+    mCreateLatency_ = &m.histogram("fs.create.latency", 0.0, 1.0, 100);
+    mOpenLatency_ = &m.histogram("fs.open.latency", 0.0, 0.01, 50);
+    mWriteLatency_ = &m.histogram("fs.write.latency", 0.0, 5.0, 100);
+    mCloseLatency_ = &m.histogram("fs.close.latency", 0.0, 0.01, 50);
+    mTokenAcquires_ = &m.counter("fs.token.acquires");
+    mTokenRevocations_ = &m.counter("fs.token.revocations");
+    mSizeTokenBounces_ = &m.counter("fs.token.size_bounces");
+  }
+}
 
 ParallelFsSim::Directory& ParallelFsSim::directoryOf(const std::string& path) {
   auto [it, inserted] = directories_.try_emplace(directoryName(path));
@@ -70,8 +85,8 @@ ParallelFsSim::Directory& ParallelFsSim::directoryOf(const std::string& path) {
   return it->second;
 }
 
-sim::Task<FileHandle> ParallelFsSim::create([[maybe_unused]] int rank,
-                                           std::string path) {
+sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
+  const sim::SimTime opStart = sched_.now();
   auto& dir = directoryOf(path);
   // Function-ship the request to the ION, then serialise on the directory.
   co_await sched_.delay(ion_.requestOverhead());
@@ -107,11 +122,17 @@ sim::Task<FileHandle> ParallelFsSim::create([[maybe_unused]] int rank,
   }
   image_.file(path);  // touch
   ++creates_;
+  if (obs_) {
+    mCreateLatency_->add(sched_.now() - opStart);
+    if (obs_->tracing(obs::Layer::kFilesystem))
+      obs_->complete(obs::Layer::kFilesystem, rank, "create", opStart,
+                     sched_.now());
+  }
   co_return std::make_shared<OpenFile>(std::move(path), std::move(state));
 }
 
-sim::Task<FileHandle> ParallelFsSim::open([[maybe_unused]] int rank,
-                                         std::string path) {
+sim::Task<FileHandle> ParallelFsSim::open(int rank, std::string path) {
+  const sim::SimTime opStart = sched_.now();
   auto it = files_.find(path);
   if (it == files_.end())
     throw std::runtime_error("fssim: open of nonexistent file " + path);
@@ -123,6 +144,12 @@ sim::Task<FileHandle> ParallelFsSim::open([[maybe_unused]] int rank,
     sim::ScopedTokens hold(*state->metanode, 1);
     co_await sched_.delay(config_.openCost);
   }
+  if (obs_) {
+    mOpenLatency_->add(sched_.now() - opStart);
+    if (obs_->tracing(obs::Layer::kFilesystem))
+      obs_->complete(obs::Layer::kFilesystem, rank, "open", opStart,
+                     sched_.now());
+  }
   co_return std::make_shared<OpenFile>(std::move(path), std::move(state));
 }
 
@@ -132,6 +159,7 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
   if (!fh || !fh->state_) throw std::runtime_error("fssim: write on bad handle");
   if (len == 0) co_return;
   auto state = fh->state_;
+  const sim::SimTime opStart = sched_.now();
 
   // 1. Byte-range token acquisition (GPFS personality only).
   if (config_.usesTokens) {
@@ -145,6 +173,10 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
       const auto result = state->tokens.acquire(
           rank, blocks,
           BlockRange{blocks.lo, std::numeric_limits<std::uint64_t>::max()});
+      if (obs_) {
+        mTokenAcquires_->add();
+        mTokenRevocations_->add(result.revocations);
+      }
       co_await sched_.delay(
           config_.tokenOpCost +
           static_cast<double>(result.revocations) * config_.revocationCost);
@@ -157,6 +189,7 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
     sim::ScopedTokens hold(*state->metanode, 1);
     if (config_.usesTokens && state->lastExtender != -1 &&
         state->lastExtender != rank) {
+      if (obs_) mSizeTokenBounces_->add();
       co_await sched_.delay(config_.sizeTokenBounceCost);
     }
     state->lastExtender = rank;
@@ -168,6 +201,12 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
 
   image_.file(state->path).recordWrite({offset, len}, data);
   ++writes_;
+  if (obs_) {
+    mWriteLatency_->add(sched_.now() - opStart);
+    if (obs_->tracing(obs::Layer::kFilesystem))
+      obs_->completeBytes(obs::Layer::kFilesystem, rank, "write", opStart,
+                          sched_.now(), len);
+  }
 }
 
 sim::Task<> ParallelFsSim::writeBlocks(int rank,
@@ -214,11 +253,18 @@ sim::Task<> ParallelFsSim::read(int rank, const FileHandle& fh,
 sim::Task<> ParallelFsSim::close(int rank, const FileHandle& fh) {
   if (!fh || !fh->state_) co_return;
   auto state = fh->state_;
+  const sim::SimTime opStart = sched_.now();
   if (config_.usesTokens) state->tokens.releaseClient(rank);
   co_await state->metanode->acquire();
   {
     sim::ScopedTokens hold(*state->metanode, 1);
     co_await sched_.delay(config_.closeCost);
+  }
+  if (obs_) {
+    mCloseLatency_->add(sched_.now() - opStart);
+    if (obs_->tracing(obs::Layer::kFilesystem))
+      obs_->complete(obs::Layer::kFilesystem, rank, "close", opStart,
+                     sched_.now());
   }
 }
 

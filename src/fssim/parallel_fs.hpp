@@ -32,6 +32,7 @@
 #include "fssim/token.hpp"
 #include "machine/bgp.hpp"
 #include "netsim/ion.hpp"
+#include "obs/obs.hpp"
 #include "simcore/random.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/scheduler.hpp"
@@ -99,7 +100,8 @@ class ParallelFsSim {
  public:
   ParallelFsSim(sim::Scheduler& sched, const machine::Machine& mach,
                 net::IonForwarding& ion, stor::StorageFabric& fabric,
-                std::uint64_t seed, FsConfig config);
+                std::uint64_t seed, FsConfig config,
+                obs::Observability* obs = nullptr);
 
   /// Create a new file (directory insert + inode init).
   sim::Task<FileHandle> create(int rank, std::string path);
@@ -139,6 +141,7 @@ class ParallelFsSim {
   const machine::Machine& mach_;
   net::IonForwarding& ion_;
   stor::StorageFabric& fabric_;
+  obs::Observability* obs_;
   sim::RngStream rng_;
   FsConfig config_;
   FsImage image_;
@@ -147,6 +150,14 @@ class ParallelFsSim {
   std::uint64_t nextFileId_ = 1;
   std::uint64_t creates_ = 0;
   std::uint64_t writes_ = 0;
+  // Metric handles, resolved once at construction (null when unobserved).
+  obs::Histogram* mCreateLatency_ = nullptr;
+  obs::Histogram* mOpenLatency_ = nullptr;
+  obs::Histogram* mWriteLatency_ = nullptr;
+  obs::Histogram* mCloseLatency_ = nullptr;
+  obs::Counter* mTokenRevocations_ = nullptr;
+  obs::Counter* mTokenAcquires_ = nullptr;
+  obs::Counter* mSizeTokenBounces_ = nullptr;
 };
 
 }  // namespace bgckpt::fs

@@ -4,13 +4,18 @@ namespace bgckpt::iolib {
 
 SimStack::SimStack(int numRanks, SimStackOptions options)
     : mach(machine::intrepidMachine(numRanks)),
-      torus(sched, mach),
+      torus(sched, mach, &obs),
       coll(mach),
-      ion(sched, mach),
+      ion(sched, mach, &obs),
       fabric(sched, mach, options.seed, options.noise,
-             options.fsConfig.serverConcurrency),
-      fsys(sched, mach, ion, fabric, options.seed, options.fsConfig),
-      rt(sched, mach, torus, coll, options.seed),
-      seed(options.seed) {}
+             options.fsConfig.serverConcurrency, &obs),
+      fsys(sched, mach, ion, fabric, options.seed, options.fsConfig, &obs),
+      rt(sched, mach, torus, coll, options.seed, &obs),
+      seed(options.seed) {
+  // The legacy profile rides the kIo event stream like any other sink, so
+  // strategy code records each op exactly once.
+  obs.addSink(std::make_shared<prof::IoProfileSink>(profile));
+  obs.observeScheduler(sched);
+}
 
 }  // namespace bgckpt::iolib

@@ -16,6 +16,7 @@
 #include "mpisim/comm.hpp"
 #include "netsim/ion.hpp"
 #include "netsim/torus.hpp"
+#include "obs/obs.hpp"
 #include "profiling/profile.hpp"
 #include "simcore/scheduler.hpp"
 #include "storsim/fabric.hpp"
@@ -34,6 +35,12 @@ class SimStack {
 
   sim::Scheduler sched;
   machine::Machine mach;
+  /// Observability hub for the whole stack. Every layer below reports into
+  /// it; `profile` is fed from its kIo event stream via prof::IoProfileSink.
+  /// Benches attach extra sinks (Chrome trace, JSONL) with obs.addSink().
+  /// Declared before the layers (they hold a pointer) and after sched (its
+  /// destructor reads the scheduler clock for end-of-run exports).
+  obs::Observability obs;
   net::TorusNetwork torus;
   net::CollectiveNetwork coll;
   net::IonForwarding ion;

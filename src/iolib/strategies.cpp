@@ -8,6 +8,7 @@
 
 #include "iolib/campaign.hpp"
 #include "iolib/layout.hpp"
+#include "obs/obs.hpp"
 
 namespace bgckpt::iolib {
 
@@ -73,7 +74,7 @@ RunState makeRunState(SimStack& stack, const CheckpointSpec& spec,
 Task<> run1Pfpp(Comm world, RunState& st) {
   auto& fsys = st.stack->fsys;
   auto& sched = st.stack->sched;
-  auto& prof = st.stack->profile;
+  auto* obs = &st.stack->obs;
   const int rank = world.rank();
   const int client = world.globalRank(rank);
   const auto& spec = st.spec;
@@ -101,18 +102,20 @@ Task<> run1Pfpp(Comm world, RunState& st) {
           ? spec.directory + "/r" + std::to_string(rank) + "/s" +
                 std::to_string(spec.step)
           : checkpointPath(spec, rank);
-  prof::ScopedOp createOp(prof, rank, prof::Op::kCreate, sched.now());
+  obs::IoOpSpan createOp(obs, sched, rank, "create");
   auto fh = co_await fsys.create(client, path);
-  createOp.stop(sched.now());
+  createOp.stop();
 
-  prof::ScopedOp hdrOp(prof, rank, prof::Op::kWrite, sched.now());
-  co_await fsys.write(client, fh, 0, spec.headerBytes,
-                      spec.carryPayload ? std::span<const std::byte>(header)
-                                        : std::span<const std::byte>());
-  hdrOp.stop(sched.now(), spec.headerBytes);
+  {
+    obs::IoOpSpan hdrOp(obs, sched, rank, "write");
+    co_await fsys.write(client, fh, 0, spec.headerBytes,
+                        spec.carryPayload ? std::span<const std::byte>(header)
+                                          : std::span<const std::byte>());
+    hdrOp.stop(spec.headerBytes);
+  }
 
   for (int f = 0; f < spec.numFields; ++f) {
-    prof::ScopedOp writeOp(prof, rank, prof::Op::kWrite, sched.now());
+    obs::IoOpSpan writeOp(obs, sched, rank, "write");
     co_await fsys.write(
         client, fh, layout.fieldOffset(f, 0), spec.fieldBytesPerRank,
         spec.carryPayload
@@ -120,12 +123,12 @@ Task<> run1Pfpp(Comm world, RunState& st) {
                     static_cast<std::uint64_t>(f) * spec.fieldBytesPerRank,
                     spec.fieldBytesPerRank)
             : std::span<const std::byte>());
-    writeOp.stop(sched.now(), spec.fieldBytesPerRank);
+    writeOp.stop(spec.fieldBytesPerRank);
   }
 
-  prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+  obs::IoOpSpan closeOp(obs, sched, rank, "close");
   co_await fsys.close(client, fh);
-  closeOp.stop(sched.now());
+  closeOp.stop();
 }
 
 // ----------------------------------------------------------------- coIO --
@@ -133,7 +136,7 @@ Task<> run1Pfpp(Comm world, RunState& st) {
 Task<> runCoIo(Comm world, RunState& st) {
   auto& fsys = st.stack->fsys;
   auto& sched = st.stack->sched;
-  auto& prof = st.stack->profile;
+  auto* obs = &st.stack->obs;
   const auto& spec = st.spec;
   const int rank = world.rank();
   const int part = rank / st.groupSize;
@@ -152,18 +155,18 @@ Task<> runCoIo(Comm world, RunState& st) {
 
   // Header round: group-local rank 0 contributes the master header.
   {
-    prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+    obs::IoOpSpan op(obs, sched, rank, "write");
     const bool isRoot = sub.rank() == 0;
     co_await file.writeAtAll(0, isRoot ? spec.headerBytes : 0,
                              (isRoot && spec.carryPayload)
                                  ? std::span<const std::byte>(header)
                                  : std::span<const std::byte>());
-    op.stop(sched.now(), sub.rank() == 0 ? spec.headerBytes : 0);
+    op.stop(sub.rank() == 0 ? spec.headerBytes : 0);
   }
 
   // One collective round per field, committed in file order.
   for (int f = 0; f < spec.numFields; ++f) {
-    prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+    obs::IoOpSpan op(obs, sched, rank, "write");
     co_await file.writeAtAll(
         layout.fieldOffset(f, sub.rank()), spec.fieldBytesPerRank,
         spec.carryPayload
@@ -171,19 +174,19 @@ Task<> runCoIo(Comm world, RunState& st) {
                     static_cast<std::uint64_t>(f) * spec.fieldBytesPerRank,
                     spec.fieldBytesPerRank)
             : std::span<const std::byte>());
-    op.stop(sched.now(), spec.fieldBytesPerRank);
+    op.stop(spec.fieldBytesPerRank);
   }
 
-  prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+  obs::IoOpSpan closeOp(obs, sched, rank, "close");
   co_await file.close();
-  closeOp.stop(sched.now());
+  closeOp.stop();
 }
 
 // ----------------------------------------------------------------- rbIO --
 
 Task<> rbIoWorker(Comm world, RunState& st, int writerRank) {
   auto& sched = st.stack->sched;
-  auto& prof = st.stack->profile;
+  auto* obs = &st.stack->obs;
   const auto& spec = st.spec;
   const int rank = world.rank();
 
@@ -195,19 +198,22 @@ Task<> rbIoWorker(Comm world, RunState& st, int writerRank) {
         makeRankPayload(spec, world.globalRank(rank)));
 
   // The worker's entire blocking I/O cost: one nonblocking send.
+  obs->begin(obs::Layer::kIo, rank, "handoff", sched.now());
   const double t0 = sched.now();
+  obs::IoOpSpan sendOp(obs, sched, rank, "send");
   mpi::Request req =
       co_await world.isend(writerRank, st.packageTag, std::move(package));
   (void)req;  // fire and forget: the writer's receive loop bounds delivery
+  sendOp.stop(spec.bytesPerRank());
   const double dt = sched.now() - t0;
   st.isendTime[static_cast<std::size_t>(rank)] = dt;
-  prof.record(rank, prof::Op::kSend, t0, sched.now(), spec.bytesPerRank());
+  obs->end(obs::Layer::kIo, rank, "handoff", sched.now());
 }
 
 Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
   auto& fsys = st.stack->fsys;
   auto& sched = st.stack->sched;
-  auto& prof = st.stack->profile;
+  auto* obs = &st.stack->obs;
   const auto& spec = st.spec;
   const int rank = world.rank();
   const int client = world.globalRank(rank);
@@ -220,15 +226,15 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
   if (spec.carryPayload)
     packages[rank] = std::make_shared<const std::vector<std::byte>>(
         makeRankPayload(spec, world.globalRank(rank)));
+  obs->begin(obs::Layer::kIo, rank, "aggregate", sched.now());
   {
-    prof::ScopedOp op(prof, rank, prof::Op::kRecv, sched.now());
+    obs::IoOpSpan op(obs, sched, rank, "recv");
     for (int i = 1; i < g; ++i) {
       Message msg = co_await world.recv(mpi::kAnySource, st.packageTag);
       if (spec.carryPayload)
         packages[static_cast<int>(msg.meta)] = msg.payload;
     }
-    op.stop(sched.now(),
-            static_cast<sim::Bytes>(g - 1) * spec.bytesPerRank());
+    op.stop(static_cast<sim::Bytes>(g - 1) * spec.bytesPerRank());
   }
 
   // Reorder the group's blocks into field-major file order (a local copy).
@@ -257,33 +263,35 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
                             groupLayout.fieldOffset(f, r)));
       }
   }
+  obs->end(obs::Layer::kIo, rank, "aggregate", sched.now());
 
+  obs->begin(obs::Layer::kIo, rank, "commit", sched.now());
   if (independent) {
     // nf == ng: each writer owns one file; MPI_File_write_at semantics on
     // MPI_COMM_SELF, realised directly on the filesystem. The writer's
     // buffer lets it batch multiple fields per flush.
     const std::string path = checkpointPath(spec, group);
-    prof::ScopedOp createOp(prof, rank, prof::Op::kCreate, sched.now());
+    obs::IoOpSpan createOp(obs, sched, rank, "create");
     auto fh = co_await fsys.create(client, path);
-    createOp.stop(sched.now());
+    createOp.stop();
 
     const sim::Bytes total = groupLayout.fileBytes();
     std::uint64_t cursor = 0;
     while (cursor < total) {
       const sim::Bytes chunk =
           std::min<sim::Bytes>(st.cfg.writerBuffer, total - cursor);
-      prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+      obs::IoOpSpan op(obs, sched, rank, "write");
       co_await fsys.write(client, fh, cursor, chunk,
                           spec.carryPayload
                               ? slice(fileBytes, cursor, chunk)
                               : std::span<const std::byte>());
-      op.stop(sched.now(), chunk);
+      op.stop(chunk);
       cursor += chunk;
     }
 
-    prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+    obs::IoOpSpan closeOp(obs, sched, rank, "close");
     co_await fsys.close(client, fh);
-    closeOp.stop(sched.now());
+    closeOp.stop();
   } else {
     // nf == 1: writers jointly commit one shared file with collective
     // nonblocking writes; each field must land before the next starts.
@@ -294,12 +302,12 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
     if (spec.carryPayload) header = makeHeaderPayload(spec, 0);
     {
       const bool isRoot = writerComm.rank() == 0;
-      prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+      obs::IoOpSpan op(obs, sched, rank, "write");
       co_await file.writeAtAll(0, isRoot ? spec.headerBytes : 0,
                                (isRoot && spec.carryPayload)
                                    ? std::span<const std::byte>(header)
                                    : std::span<const std::byte>());
-      op.stop(sched.now(), isRoot ? spec.headerBytes : 0);
+      op.stop(isRoot ? spec.headerBytes : 0);
     }
     std::vector<std::byte> section;
     for (int f = 0; f < spec.numFields; ++f) {
@@ -319,17 +327,18 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
                                     spec.fieldBytesPerRank));
         }
       }
-      prof::ScopedOp op(prof, rank, prof::Op::kWrite, sched.now());
+      obs::IoOpSpan op(obs, sched, rank, "write");
       co_await file.writeAtAll(
           globalLayout.fieldOffset(f, group * g), sectionBytes,
           spec.carryPayload ? std::span<const std::byte>(section)
                             : std::span<const std::byte>());
-      op.stop(sched.now(), sectionBytes);
+      op.stop(sectionBytes);
     }
-    prof::ScopedOp closeOp(prof, rank, prof::Op::kClose, sched.now());
+    obs::IoOpSpan closeOp(obs, sched, rank, "close");
     co_await file.close();
-    closeOp.stop(sched.now());
+    closeOp.stop();
   }
+  obs->end(obs::Layer::kIo, rank, "commit", sched.now());
 }
 
 // --------------------------------------------------------------- driver --
@@ -351,6 +360,8 @@ Task<> rankProgram(Comm world, RunState& st) {
   co_await world.barrier();
   if (rank == 0) st.t0 = world.scheduler().now();
   const double start = world.scheduler().now();
+  auto* obs = &st.stack->obs;
+  obs->begin(obs::Layer::kApp, rank, "checkpoint", start);
 
   switch (st.cfg.kind) {
     case StrategyKind::k1Pfpp:
@@ -367,6 +378,7 @@ Task<> rankProgram(Comm world, RunState& st) {
                                            st.cfg.groupSize);
       break;
   }
+  obs->end(obs::Layer::kApp, rank, "checkpoint", world.scheduler().now());
   st.perRank[static_cast<std::size_t>(rank)] =
       world.scheduler().now() - start;
 }

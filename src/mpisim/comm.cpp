@@ -15,6 +15,7 @@ struct Group {
   const machine::Machine& mach;
   net::TorusNetwork& torus;
   net::CollectiveNetwork& coll;
+  obs::Observability* obs = nullptr;  // shared across subgroups
   std::shared_ptr<sim::RngStream> jitter;  // shared across subgroups
   std::vector<int> globalRanks;
   std::unique_ptr<sim::Barrier> barrier;
@@ -48,12 +49,13 @@ struct Group {
   std::vector<int> splitLocalRank;
 
   Group(sim::Scheduler& s, const machine::Machine& m, net::TorusNetwork& t,
-        net::CollectiveNetwork& c, std::shared_ptr<sim::RngStream> j,
-        std::vector<int> ranks)
+        net::CollectiveNetwork& c, obs::Observability* o,
+        std::shared_ptr<sim::RngStream> j, std::vector<int> ranks)
       : sched(s),
         mach(m),
         torus(t),
         coll(c),
+        obs(o),
         jitter(std::move(j)),
         globalRanks(std::move(ranks)),
         barrier(std::make_unique<sim::Barrier>(s, globalRanks.size())),
@@ -113,7 +115,8 @@ struct Group {
       }
       splitGroups.emplace(color,
                           std::make_shared<Group>(sched, mach, torus, coll,
-                                                  jitter, std::move(globals)));
+                                                  obs, jitter,
+                                                  std::move(globals)));
     }
     splitEntries.clear();
   }
@@ -124,9 +127,13 @@ namespace {
 sim::Task<> transferAndDeliver(std::shared_ptr<Group> g, int src, int dst,
                                Message msg,
                                std::shared_ptr<sim::Gate> gate) {
-  co_await g->torus.transfer(g->globalRanks[static_cast<std::size_t>(src)],
-                             g->globalRanks[static_cast<std::size_t>(dst)],
-                             msg.size);
+  const int srcGlobal = g->globalRanks[static_cast<std::size_t>(src)];
+  const int dstGlobal = g->globalRanks[static_cast<std::size_t>(dst)];
+  const sim::SimTime sendTime = g->sched.now();
+  co_await g->torus.transfer(srcGlobal, dstGlobal, msg.size);
+  if (g->obs)
+    g->obs->message(srcGlobal, dstGlobal, msg.size, sendTime,
+                    g->sched.now());
   g->deliver(dst, std::move(msg));
   gate->fire();
 }
@@ -286,12 +293,12 @@ sim::Task<Comm> Comm::split(int color, int key) {
 
 Runtime::Runtime(sim::Scheduler& sched, const machine::Machine& mach,
                  net::TorusNetwork& torus, net::CollectiveNetwork& coll,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, obs::Observability* obs) {
   std::vector<int> ranks(static_cast<std::size_t>(mach.numRanks()));
   for (std::size_t i = 0; i < ranks.size(); ++i)
     ranks[i] = static_cast<int>(i);
   world_ = std::make_shared<Group>(
-      sched, mach, torus, coll,
+      sched, mach, torus, coll, obs,
       std::make_shared<sim::RngStream>(seed, "mpi-isend"), std::move(ranks));
 }
 

@@ -23,6 +23,7 @@
 
 #include "machine/bgp.hpp"
 #include "netsim/torus.hpp"
+#include "obs/obs.hpp"
 #include "simcore/channel.hpp"
 #include "simcore/random.hpp"
 #include "simcore/scheduler.hpp"
@@ -125,7 +126,7 @@ class Runtime {
  public:
   Runtime(sim::Scheduler& sched, const machine::Machine& mach,
           net::TorusNetwork& torus, net::CollectiveNetwork& coll,
-          std::uint64_t seed);
+          std::uint64_t seed, obs::Observability* obs = nullptr);
   ~Runtime();
 
   /// Spawn `program(comm)` on every rank of the world communicator. Call

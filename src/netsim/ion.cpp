@@ -3,11 +3,19 @@
 namespace bgckpt::net {
 
 IonForwarding::IonForwarding(sim::Scheduler& sched,
-                             const machine::Machine& mach)
-    : sched_(sched), mach_(mach) {
+                             const machine::Machine& mach,
+                             obs::Observability* obs)
+    : sched_(sched), mach_(mach), obs_(obs) {
   uplink_.reserve(static_cast<std::size_t>(mach.numPsets()));
   for (int p = 0; p < mach.numPsets(); ++p)
     uplink_.push_back(std::make_unique<sim::Resource>(sched, 1));
+  if (obs_) {
+    auto& m = obs_->metrics();
+    mRequests_ = &m.counter("net.ion.requests");
+    mBytes_ = &m.counter("net.ion.bytes");
+    mBusy_ = &m.gauge("net.ion.busy_seconds");
+    m.gauge("net.ion.links").set(static_cast<double>(mach.numPsets()));
+  }
 }
 
 sim::Task<> IonForwarding::forward(int rank, sim::Bytes bytes) {
@@ -15,9 +23,19 @@ sim::Task<> IonForwarding::forward(int rank, sim::Bytes bytes) {
   co_await uplink_[pset]->acquire();
   {
     sim::ScopedTokens link(*uplink_[pset], 1);
-    co_await sched_.delay(
+    const sim::Duration busy =
         mach_.io().forwardingOverhead +
-        sim::transferTime(bytes, mach_.io().ionUplinkBandwidth));
+        sim::transferTime(bytes, mach_.io().ionUplinkBandwidth);
+    const sim::SimTime start = sched_.now();
+    co_await sched_.delay(busy);
+    if (obs_) {
+      mRequests_->add();
+      mBytes_->add(bytes);
+      mBusy_->add(busy);
+      if (obs_->tracing(obs::Layer::kNetwork))
+        obs_->completeBytes(obs::Layer::kNetwork, rank, "ion.forward", start,
+                            sched_.now(), bytes);
+    }
   }
   ++requests_;
   bytes_ += bytes;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "machine/bgp.hpp"
+#include "obs/obs.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/scheduler.hpp"
 #include "simcore/task.hpp"
@@ -20,7 +21,8 @@ namespace bgckpt::net {
 
 class IonForwarding {
  public:
-  IonForwarding(sim::Scheduler& sched, const machine::Machine& mach);
+  IonForwarding(sim::Scheduler& sched, const machine::Machine& mach,
+                obs::Observability* obs = nullptr);
 
   /// Ship `bytes` of payload from `rank`'s pset up to the storage fabric
   /// (or down, for reads — the link is modelled symmetrically). Completes
@@ -38,9 +40,14 @@ class IonForwarding {
  private:
   sim::Scheduler& sched_;
   const machine::Machine& mach_;
+  obs::Observability* obs_;
   std::vector<std::unique_ptr<sim::Resource>> uplink_;  // per pset
   std::uint64_t requests_ = 0;
   sim::Bytes bytes_ = 0;
+  // Metric handles, resolved once (null when unobserved).
+  obs::Counter* mRequests_ = nullptr;
+  obs::Counter* mBytes_ = nullptr;
+  obs::Gauge* mBusy_ = nullptr;
 };
 
 }  // namespace bgckpt::net

@@ -7,9 +7,11 @@ namespace bgckpt::net {
 using sim::Duration;
 
 TorusNetwork::TorusNetwork(sim::Scheduler& sched,
-                           const machine::Machine& mach)
+                           const machine::Machine& mach,
+                           obs::Observability* obs)
     : sched_(sched),
       mach_(mach),
+      obs_(obs),
       // Receive-side drain: a memory copy sharing the node's memory system
       // with its other cores; use half the node memory bandwidth.
       drainBandwidth_(mach.compute().memoryBandwidth / 2.0) {
@@ -18,6 +20,13 @@ TorusNetwork::TorusNetwork(sim::Scheduler& sched,
   for (int n = 0; n < mach.numNodes(); ++n) {
     injection_.push_back(std::make_unique<sim::Resource>(sched, 1));
     ejection_.push_back(std::make_unique<sim::Resource>(sched, 1));
+  }
+  if (obs_) {
+    auto& m = obs_->metrics();
+    mMessages_ = &m.counter("net.torus.messages");
+    mBytes_ = &m.counter("net.torus.bytes");
+    mBusy_ = &m.gauge("net.torus.busy_seconds");
+    m.gauge("net.torus.links").set(static_cast<double>(mach.numNodes()));
   }
 }
 
@@ -37,8 +46,10 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
     co_await injection_[static_cast<std::size_t>(srcNode)]->acquire();
     {
       sim::ScopedTokens nic(*injection_[static_cast<std::size_t>(srcNode)], 1);
-      co_await sched_.delay(cc.mpiOverhead +
-                            sim::transferTime(bytes, cc.torusLinkBandwidth));
+      const sim::Duration busy =
+          cc.mpiOverhead + sim::transferTime(bytes, cc.torusLinkBandwidth);
+      co_await sched_.delay(busy);
+      if (mBusy_) mBusy_->add(busy);
     }
     // Flight time across the fabric.
     const int hops = mach_.torusHops(srcNode, dstNode);
@@ -54,6 +65,10 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
   ++messages_;
   bytes_ += bytes;
   latency_.add(sched_.now() - start);
+  if (obs_) {
+    mMessages_->add();
+    mBytes_->add(bytes);
+  }
 }
 
 Duration TorusNetwork::uncontendedLatency(int srcRank, int dstRank,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "machine/bgp.hpp"
+#include "obs/obs.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/scheduler.hpp"
 #include "simcore/stats.hpp"
@@ -24,7 +25,8 @@ namespace bgckpt::net {
 
 class TorusNetwork {
  public:
-  TorusNetwork(sim::Scheduler& sched, const machine::Machine& mach);
+  TorusNetwork(sim::Scheduler& sched, const machine::Machine& mach,
+               obs::Observability* obs = nullptr);
 
   /// Move `bytes` from `srcRank` to `dstRank`; completes at delivery time
   /// (when the receiver has drained the message).
@@ -41,12 +43,16 @@ class TorusNetwork {
  private:
   sim::Scheduler& sched_;
   const machine::Machine& mach_;
+  obs::Observability* obs_;
   sim::Bandwidth drainBandwidth_;  // receiver copy rate
   std::vector<std::unique_ptr<sim::Resource>> injection_;  // per node
   std::vector<std::unique_ptr<sim::Resource>> ejection_;   // per node
   std::uint64_t messages_ = 0;
   sim::Bytes bytes_ = 0;
   sim::Accumulator latency_;
+  obs::Counter* mMessages_ = nullptr;
+  obs::Counter* mBytes_ = nullptr;
+  obs::Gauge* mBusy_ = nullptr;  // injection-link busy seconds
 };
 
 /// Cost model for the dedicated collective (tree) and barrier networks.

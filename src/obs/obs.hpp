@@ -1,0 +1,136 @@
+// Observability hub: one per simulated stack.
+//
+// Owns the MetricsRegistry and a set of TraceSinks, and caches the OR of
+// the sinks' layer masks so producers can guard emission with a single
+// bit test: `if (obs && obs->tracing(Layer::kFilesystem)) ...`. Every
+// instrumented layer (scheduler, torus/ION, storage fabric, filesystem,
+// MPI runtime, checkpoint strategies) takes an optional `Observability*`
+// and is exactly as fast as before when handed nullptr.
+//
+// iolib::SimStack always attaches prof::IoProfileSink (profiling/profile.hpp)
+// so the legacy IoProfile keeps filling from the same event stream; a
+// ChromeTraceSink is attached only when the user asks for a trace file.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simcore/scheduler.hpp"
+
+namespace bgckpt::obs {
+
+class Observability;
+
+/// sim::SchedulerHooks implementation: counts dispatched events, tracks the
+/// event-queue high-water mark, and emits one span per root task on the
+/// scheduler layer (tid = root id).
+class SchedulerProbe final : public sim::SchedulerHooks {
+ public:
+  explicit SchedulerProbe(Observability& obs);
+  void onDispatch(sim::SimTime now, std::size_t queueDepth) override;
+  void onRootSpawned(std::uint64_t rootId, sim::SimTime now) override;
+  void onRootDone(std::uint64_t rootId, sim::SimTime now) override;
+
+ private:
+  Observability& obs_;
+  Counter& events_;
+  Counter& roots_;
+  Gauge& queueDepthMax_;
+};
+
+class Observability {
+ public:
+  Observability() = default;
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+  ~Observability();
+
+  /// Attach a sink; its layerMask() joins the cached tracing mask.
+  void addSink(std::shared_ptr<TraceSink> sink);
+
+  /// True when some attached sink wants events from `layer`.
+  bool tracing(Layer layer) const { return (mask_ & layerBit(layer)) != 0; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Fan an event out to every sink whose mask covers its layer.
+  void emit(const TraceEvent& ev);
+
+  // ------- typed emission helpers (no-ops unless a sink wants the layer) --
+  void begin(Layer layer, int tid, const char* name, sim::SimTime ts);
+  void end(Layer layer, int tid, const char* name, sim::SimTime ts);
+  void complete(Layer layer, int tid, const char* name, sim::SimTime start,
+                sim::SimTime end);
+  void completeBytes(Layer layer, int tid, const char* name,
+                     sim::SimTime start, sim::SimTime end, sim::Bytes bytes);
+  /// MPI message delivery: complete event on the sender's row plus the
+  /// per-pair metrics entry.
+  void message(int src, int dst, sim::Bytes bytes, sim::SimTime sendTime,
+               sim::SimTime deliverTime);
+  void counterSample(Layer layer, const char* name, sim::SimTime ts,
+                     double value);
+
+  /// Install a SchedulerProbe on `sched` (kept alive by this object).
+  /// Safe to call more than once; only the first call installs.
+  void observeScheduler(sim::Scheduler& sched);
+  /// Remove the probe before the scheduler goes away (SimStack's teardown
+  /// order already guarantees this; tests use it directly).
+  void releaseScheduler();
+
+  /// Convert accumulated busy-seconds gauges into utilization gauges over
+  /// [0, horizon] and flush all sinks. Layers record `<layer>.busy_seconds`
+  /// plus `<layer>.links`; this derives `<layer>.utilization`.
+  void finalize(sim::SimTime horizon);
+
+  /// Ask the destructor to call finalize(scheduler.now()) and write the
+  /// metrics files (empty path = skip that format). Used by bench/common
+  /// so every harness exports on exit without bespoke teardown code.
+  void exportOnDestroy(std::string metricsJsonPath, std::string metricsCsvPath);
+
+ private:
+  MetricsRegistry metrics_;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  unsigned mask_ = 0;
+  std::unique_ptr<SchedulerProbe> schedProbe_;
+  sim::Scheduler* observedSched_ = nullptr;
+  std::string metricsJsonPath_;
+  std::string metricsCsvPath_;
+};
+
+/// RAII span for one I/O operation on the kIo layer: emits a complete
+/// event at stop() (with bytes) or at destruction (without), so an op
+/// abandoned by an exception or early co_return is still recorded instead
+/// of silently dropped. Null `obs` disables it.
+class IoOpSpan {
+ public:
+  IoOpSpan(Observability* obs, const sim::Scheduler& sched, int rank,
+           const char* name)
+      : obs_(obs), sched_(sched), rank_(rank), name_(name),
+        start_(sched.now()) {}
+  IoOpSpan(const IoOpSpan&) = delete;
+  IoOpSpan& operator=(const IoOpSpan&) = delete;
+  ~IoOpSpan() {
+    if (!done_ && obs_)
+      obs_->complete(Layer::kIo, rank_, name_, start_, sched_.now());
+  }
+
+  void stop(sim::Bytes bytes = 0) {
+    done_ = true;
+    if (obs_)
+      obs_->completeBytes(Layer::kIo, rank_, name_, start_, sched_.now(),
+                          bytes);
+  }
+
+ private:
+  Observability* obs_;
+  const sim::Scheduler& sched_;
+  int rank_;
+  const char* name_;
+  sim::SimTime start_;
+  bool done_ = false;
+};
+
+}  // namespace bgckpt::obs

@@ -18,6 +18,13 @@ const char* opName(Op op) {
   return "?";
 }
 
+std::optional<Op> opFromName(std::string_view name) {
+  for (const Op op : {Op::kCreate, Op::kOpen, Op::kWrite, Op::kClose,
+                      Op::kSend, Op::kRecv, Op::kOther})
+    if (name == opName(op)) return op;
+  return std::nullopt;
+}
+
 std::vector<double> IoProfile::perRankEnvelope(int numRanks) const {
   std::vector<double> first(static_cast<std::size_t>(numRanks), 1e300);
   std::vector<double> last(static_cast<std::size_t>(numRanks), -1.0);
@@ -44,6 +51,7 @@ std::vector<double> IoProfile::perRankBusy(int numRanks) const {
 
 std::vector<int> IoProfile::activityTimeline(Op op, double binWidth,
                                              double horizon) const {
+  if (binWidth <= 0 || horizon <= 0) return {};
   const auto bins = static_cast<std::size_t>(std::ceil(horizon / binWidth));
   std::vector<int> counts(bins, 0);
   for (const auto& r : records_) {

@@ -6,9 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "simcore/scheduler.hpp"
 #include "simcore/units.hpp"
 
 namespace bgckpt::prof {
@@ -24,6 +28,9 @@ enum class Op : std::uint8_t {
 };
 
 const char* opName(Op op);
+/// Inverse of opName; nullopt for names that are not I/O ops (e.g. the
+/// rbIO phase spans that share the obs kIo layer).
+std::optional<Op> opFromName(std::string_view name);
 
 struct OpRecord {
   int rank = -1;
@@ -56,6 +63,8 @@ class IoProfile {
 
   /// Number of ranks with at least one record of `op` active in each time
   /// bin of width `binWidth` over [0, horizon) — the Fig. 12 timeline.
+  /// Non-positive binWidth or horizon yields an empty timeline; records
+  /// straddling the horizon count in every bin they overlap.
   std::vector<int> activityTimeline(Op op, double binWidth,
                                     double horizon) const;
 
@@ -66,13 +75,33 @@ class IoProfile {
   std::vector<OpRecord> records_;
 };
 
-/// Convenience RAII timer: records one op from construction to stop().
+/// RAII timer: records one op from construction to stop(), or — if stop()
+/// is never reached (exception, early co_return) — at destruction, so the
+/// record is never silently dropped. Construct with the scheduler to give
+/// the destructor a clock; with a plain start time the fallback record is
+/// zero-width (end == start).
 class ScopedOp {
  public:
   ScopedOp(IoProfile& profile, int rank, Op op, sim::SimTime now)
       : profile_(profile), rank_(rank), op_(op), start_(now) {}
+  ScopedOp(IoProfile& profile, int rank, Op op, const sim::Scheduler& sched)
+      : profile_(profile),
+        rank_(rank),
+        op_(op),
+        start_(sched.now()),
+        sched_(&sched) {}
+  ScopedOp(const ScopedOp&) = delete;
+  ScopedOp& operator=(const ScopedOp&) = delete;
+
+  ~ScopedOp() {
+    if (!stopped_)
+      profile_.record(rank_, op_, start_,
+                      sched_ ? sched_->now() : start_);
+  }
 
   void stop(sim::SimTime now, sim::Bytes bytes = 0) {
+    if (stopped_) return;
+    stopped_ = true;
     profile_.record(rank_, op_, start_, now, bytes);
   }
 
@@ -81,6 +110,31 @@ class ScopedOp {
   int rank_;
   Op op_;
   sim::SimTime start_;
+  const sim::Scheduler* sched_ = nullptr;
+  bool stopped_ = false;
+};
+
+/// Trace sink that replays the kIo event stream into an IoProfile, so the
+/// legacy profile API (per-rank scatters, Fig. 12 timelines, the Darshan
+/// report) is a consumer of the same events every other sink sees rather
+/// than a parallel bookkeeping path.
+class IoProfileSink final : public obs::TraceSink {
+ public:
+  explicit IoProfileSink(IoProfile& profile) : profile_(profile) {}
+
+  void event(const obs::TraceEvent& ev) override {
+    if (ev.phase != 'X') return;  // phase spans (B/E) are not op records
+    const auto op = opFromName(ev.name);
+    if (!op) return;
+    profile_.record(ev.tid, *op, ev.ts, ev.ts + ev.dur, ev.bytes);
+  }
+
+  unsigned layerMask() const override {
+    return obs::layerBit(obs::Layer::kIo);
+  }
+
+ private:
+  IoProfile& profile_;
 };
 
 }  // namespace bgckpt::prof

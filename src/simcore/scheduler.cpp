@@ -21,12 +21,12 @@ struct RootRunner {
     void unhandled_exception() noexcept { std::terminate(); }
   };
 
-  static RootRunner drive(Scheduler& sched, Task<> task) {
+  static RootRunner drive(Scheduler& sched, Task<> task, std::uint64_t id) {
     try {
       co_await std::move(task);
-      sched.noteRootDone();
+      sched.noteRootDone(id);
     } catch (...) {
-      sched.noteRootFailed(std::current_exception());
+      sched.noteRootFailed(id, std::current_exception());
     }
   }
 
@@ -43,7 +43,9 @@ void Scheduler::scheduleCall(Duration delayTime, std::function<void()> fn) {
 
 void Scheduler::spawn(Task<> task) {
   ++liveRoots_;
-  RootRunner runner = RootRunner::drive(*this, std::move(task));
+  const std::uint64_t id = nextRootId_++;
+  if (hooks_) hooks_->onRootSpawned(id, now_);
+  RootRunner runner = RootRunner::drive(*this, std::move(task), id);
   scheduleResume(0.0, runner.handle);
 }
 
@@ -87,6 +89,7 @@ void Scheduler::dispatch(Event& ev) {
   } else {
     ev.callback();
   }
+  if (hooks_) hooks_->onDispatch(now_, queue_.size());
 }
 
 }  // namespace bgckpt::sim

@@ -26,6 +26,21 @@ class SimulationError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Observation points on the event loop. The scheduler holds at most one
+/// hooks object (not owned) and calls it only when installed, so the
+/// uninstrumented hot path pays a single null-pointer branch per event.
+/// src/obs provides the standard implementation (obs::SchedulerProbe).
+class SchedulerHooks {
+ public:
+  virtual ~SchedulerHooks() = default;
+  /// After each event is dispatched. `queueDepth` is the post-pop depth.
+  virtual void onDispatch(SimTime now, std::size_t queueDepth) = 0;
+  /// A root task was spawned / finished (normally or with an error).
+  /// `rootId` is a dense 0-based sequence number in spawn order.
+  virtual void onRootSpawned(std::uint64_t rootId, SimTime now) = 0;
+  virtual void onRootDone(std::uint64_t rootId, SimTime now) = 0;
+};
+
 class Scheduler {
  public:
   Scheduler() = default;
@@ -74,6 +89,13 @@ class Scheduler {
 
   std::uint64_t eventsProcessed() const { return eventsProcessed_; }
 
+  /// Events currently queued (diagnostic; sampled by SchedulerHooks).
+  std::size_t queueDepth() const { return queue_.size(); }
+
+  /// Install (or clear, with nullptr) the observation hooks. The hooks
+  /// object is borrowed and must outlive the scheduler or be cleared first.
+  void setHooks(SchedulerHooks* hooks) { hooks_ = hooks; }
+
  private:
   struct Event {
     SimTime time;
@@ -89,10 +111,14 @@ class Scheduler {
   };
 
   void dispatch(Event& ev);
-  void noteRootDone() { --liveRoots_; }
-  void noteRootFailed(std::exception_ptr ep) {
+  void noteRootDone(std::uint64_t rootId) {
+    --liveRoots_;
+    if (hooks_) hooks_->onRootDone(rootId, now_);
+  }
+  void noteRootFailed(std::uint64_t rootId, std::exception_ptr ep) {
     if (!firstError_) firstError_ = ep;
     --liveRoots_;
+    if (hooks_) hooks_->onRootDone(rootId, now_);
   }
 
   friend struct RootRunner;
@@ -101,8 +127,10 @@ class Scheduler {
   SimTime now_ = 0.0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t eventsProcessed_ = 0;
+  std::uint64_t nextRootId_ = 0;
   std::size_t liveRoots_ = 0;
   std::exception_ptr firstError_;
+  SchedulerHooks* hooks_ = nullptr;
 };
 
 }  // namespace bgckpt::sim

@@ -6,14 +6,33 @@ namespace bgckpt::stor {
 
 StorageFabric::StorageFabric(sim::Scheduler& sched,
                              const machine::Machine& mach, std::uint64_t seed,
-                             NoiseModel noise, int serverConcurrency)
-    : sched_(sched), mach_(mach), rng_(seed, "storage-fabric"), noise_(noise) {
+                             NoiseModel noise, int serverConcurrency,
+                             obs::Observability* obs)
+    : sched_(sched),
+      mach_(mach),
+      obs_(obs),
+      rng_(seed, "storage-fabric"),
+      noise_(noise) {
   servers_.reserve(static_cast<std::size_t>(numServers()));
   for (int s = 0; s < numServers(); ++s)
     servers_.push_back(
         std::make_unique<sim::Resource>(sched, serverConcurrency));
   arrays_.resize(static_cast<std::size_t>(numArrays()));
   for (auto& a : arrays_) a.port = std::make_unique<sim::Resource>(sched, 1);
+  if (obs_) {
+    auto& m = obs_->metrics();
+    mRequests_ = &m.counter("stor.requests");
+    mBytes_ = &m.counter("stor.bytes_written");
+    mServerBusy_ = &m.gauge("stor.server.busy_seconds");
+    mArrayBusy_ = &m.gauge("stor.array.busy_seconds");
+    mStreamsMax_ = &m.gauge("stor.active_streams.max");
+    mServiceTime_ = &m.histogram("stor.service_time", 0.0, 2.0, 100);
+    // Server "links" count stream slots so utilization is a 0..1 fraction
+    // of the fabric's aggregate service capacity.
+    m.gauge("stor.server.links")
+        .set(static_cast<double>(numServers() * serverConcurrency));
+    m.gauge("stor.array.links").set(static_cast<double>(numArrays()));
+  }
 }
 
 sim::Task<> StorageFabric::write(int serverId, StreamId stream,
@@ -22,6 +41,7 @@ sim::Task<> StorageFabric::write(int serverId, StreamId stream,
   co_await service(serverId, stream, bytes, effectiveServerBandwidth,
                    mach_.io().ddnWriteBandwidth);
   bytesWritten_ += bytes;
+  if (mBytes_) mBytes_->add(bytes);
 }
 
 sim::Task<> StorageFabric::read(int serverId, StreamId stream,
@@ -44,8 +64,11 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
   {
     sim::ScopedTokens hold(server, 1);
     const double factor = noiseFactor();
-    co_await sched_.delay(mach_.io().serverRequestOverhead * factor +
-                          sim::transferTime(bytes, serverRate) * factor);
+    const sim::Duration busy =
+        mach_.io().serverRequestOverhead * factor +
+        sim::transferTime(bytes, serverRate) * factor;
+    co_await sched_.delay(busy);
+    if (mServerBusy_) mServerBusy_->add(busy);
   }
 
   // Stage 2: the backing DDN array commits the data. Eight servers share
@@ -53,12 +76,22 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
   co_await arr.port->acquire();
   {
     sim::ScopedTokens hold(*arr.port, 1);
-    co_await sched_.delay(seekPenalty(stream) +
-                          sim::transferTime(bytes, arrayRate));
+    const sim::Duration busy =
+        seekPenalty(stream) + sim::transferTime(bytes, arrayRate);
+    co_await sched_.delay(busy);
+    if (mArrayBusy_) mArrayBusy_->add(busy);
   }
 
   ++requests_;
   serviceTime_.add(sched_.now() - start);
+  if (obs_) {
+    mRequests_->add();
+    mServiceTime_->add(sched_.now() - start);
+    mStreamsMax_->setMax(static_cast<double>(activeStreams()));
+    if (obs_->tracing(obs::Layer::kStorage))
+      obs_->completeBytes(obs::Layer::kStorage, serverId, "service", start,
+                          sched_.now(), bytes);
+  }
 }
 
 double StorageFabric::noiseFactor() {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "machine/bgp.hpp"
+#include "obs/obs.hpp"
 #include "simcore/random.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/scheduler.hpp"
@@ -57,7 +58,8 @@ class StorageFabric {
   /// serverConcurrency * rate.
   StorageFabric(sim::Scheduler& sched, const machine::Machine& mach,
                 std::uint64_t seed, NoiseModel noise = NoiseModel{},
-                int serverConcurrency = 1);
+                int serverConcurrency = 1,
+                obs::Observability* obs = nullptr);
 
   /// Service one write request of `bytes` for `stream` on `serverId`.
   /// `effectiveServerBandwidth` lets the filesystem layer express its own
@@ -96,6 +98,7 @@ class StorageFabric {
 
   sim::Scheduler& sched_;
   const machine::Machine& mach_;
+  obs::Observability* obs_;
   sim::RngStream rng_;
   NoiseModel noise_;
   std::vector<std::unique_ptr<sim::Resource>> servers_;
@@ -111,6 +114,12 @@ class StorageFabric {
   sim::Bytes bytesWritten_ = 0;
   std::uint64_t requests_ = 0;
   sim::Accumulator serviceTime_;
+  obs::Counter* mRequests_ = nullptr;
+  obs::Counter* mBytes_ = nullptr;
+  obs::Gauge* mServerBusy_ = nullptr;
+  obs::Gauge* mArrayBusy_ = nullptr;
+  obs::Gauge* mStreamsMax_ = nullptr;
+  obs::Histogram* mServiceTime_ = nullptr;
 };
 
 }  // namespace bgckpt::stor

@@ -1,0 +1,56 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bgckpt::obs::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(parse("null")->type, Value::Type::kNull);
+  EXPECT_TRUE(parse("true")->boolean);
+  EXPECT_FALSE(parse("false")->boolean);
+  EXPECT_DOUBLE_EQ(parse("-3.5e2")->number, -350.0);
+  EXPECT_EQ(parse("\"hi\"")->string, "hi");
+}
+
+TEST(Json, ParsesNestedStructure) {
+  const auto v = parse(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(v && v->isObject());
+  const Value* a = v->find("a");
+  ASSERT_TRUE(a && a->isArray());
+  ASSERT_EQ(a->array->size(), 3u);
+  EXPECT_DOUBLE_EQ((*a->array)[1].number, 2.0);
+  EXPECT_EQ((*a->array)[2].stringOr("b", ""), "c");
+  const Value* d = v->find("d");
+  ASSERT_TRUE(d && d->isObject());
+  EXPECT_TRUE(d->find("e")->isNull());
+}
+
+TEST(Json, DecodesEscapes) {
+  const auto v = parse(R"("line\nquote\"tab\tslash\\u:\u0041")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "line\nquote\"tab\tslash\\u:A");
+}
+
+TEST(Json, AccessorDefaults) {
+  const auto v = parse(R"({"n":7,"s":"x"})");
+  EXPECT_DOUBLE_EQ(v->numberOr("n", -1), 7.0);
+  EXPECT_DOUBLE_EQ(v->numberOr("missing", -1), -1.0);
+  EXPECT_EQ(v->stringOr("s", "d"), "x");
+  EXPECT_EQ(v->stringOr("missing", "d"), "d");
+  EXPECT_EQ(v->find("nope"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(parse("{", &err).has_value());
+  EXPECT_FALSE(parse("[1,", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\" 1}", &err).has_value());
+  EXPECT_FALSE(parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse("1 2", &err).has_value());  // trailing garbage
+  EXPECT_FALSE(parse("", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace bgckpt::obs::json

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.hpp"
+#include "simcore/scheduler.hpp"
+#include "simcore/task.hpp"
+
 namespace bgckpt::prof {
 namespace {
 
@@ -71,6 +75,114 @@ TEST(ScopedOp, RecordsOnStop) {
   EXPECT_EQ(p.records()[0].rank, 3);
   EXPECT_DOUBLE_EQ(p.records()[0].duration(), 2.5);
   EXPECT_EQ(p.records()[0].bytes, 42u);
+}
+
+TEST(ScopedOp, StopThenDestroyRecordsExactlyOnce) {
+  IoProfile p;
+  {
+    ScopedOp op(p, 0, Op::kWrite, 1.0);
+    op.stop(2.0, 7);
+    op.stop(3.0, 9);  // second stop is a no-op
+  }
+  ASSERT_EQ(p.records().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.records()[0].end, 2.0);
+  EXPECT_EQ(p.records()[0].bytes, 7u);
+}
+
+TEST(ScopedOp, AbandonedOpRecordsZeroWidthAtDestruction) {
+  // Legacy start-time constructor: no clock to read, so the fallback
+  // record is zero-width rather than silently dropped.
+  IoProfile p;
+  { ScopedOp op(p, 4, Op::kOpen, 2.5); }
+  ASSERT_EQ(p.records().size(), 1u);
+  EXPECT_EQ(p.records()[0].rank, 4);
+  EXPECT_DOUBLE_EQ(p.records()[0].start, 2.5);
+  EXPECT_DOUBLE_EQ(p.records()[0].end, 2.5);
+}
+
+TEST(ScopedOp, AbandonedOpReadsSchedulerClockAtDestruction) {
+  sim::Scheduler sched;
+  IoProfile p;
+  auto body = [&]() -> sim::Task<> {
+    ScopedOp op(p, 1, Op::kWrite, sched);
+    co_await sched.delay(2.0);
+    // No stop(): destruction when the frame unwinds must still record.
+  };
+  sched.spawn(body());
+  sched.run();
+  ASSERT_EQ(p.records().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.records()[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(p.records()[0].end, 2.0);
+}
+
+TEST(IoProfile, ActivityTimelineEmptyProfile) {
+  IoProfile p;
+  auto timeline = p.activityTimeline(Op::kWrite, 1.0, 4.0);
+  ASSERT_EQ(timeline.size(), 4u);
+  for (int c : timeline) EXPECT_EQ(c, 0);
+}
+
+TEST(IoProfile, ActivityTimelineZeroWidthBinsIsEmpty) {
+  IoProfile p;
+  p.record(0, Op::kWrite, 0.0, 1.0);
+  EXPECT_TRUE(p.activityTimeline(Op::kWrite, 0.0, 4.0).empty());
+  EXPECT_TRUE(p.activityTimeline(Op::kWrite, -1.0, 4.0).empty());
+  EXPECT_TRUE(p.activityTimeline(Op::kWrite, 1.0, 0.0).empty());
+}
+
+TEST(IoProfile, ActivityTimelineClampsRecordsStraddlingHorizon) {
+  IoProfile p;
+  p.record(0, Op::kWrite, 2.5, 100.0);  // runs far past the horizon
+  auto timeline = p.activityTimeline(Op::kWrite, 1.0, 4.0);
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[0], 0);
+  EXPECT_EQ(timeline[1], 0);
+  EXPECT_EQ(timeline[2], 1);
+  EXPECT_EQ(timeline[3], 1);
+}
+
+TEST(OpFromName, RoundTripsAndRejectsPhaseNames) {
+  for (const Op op : {Op::kCreate, Op::kOpen, Op::kWrite, Op::kClose,
+                      Op::kSend, Op::kRecv, Op::kOther}) {
+    const auto back = opFromName(opName(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(opFromName("handoff").has_value());
+  EXPECT_FALSE(opFromName("commit").has_value());
+  EXPECT_FALSE(opFromName("").has_value());
+}
+
+TEST(IoProfileSink, ReplaysIoCompleteEventsOnly) {
+  IoProfile p;
+  IoProfileSink sink(p);
+  EXPECT_EQ(sink.layerMask(), obs::layerBit(obs::Layer::kIo));
+
+  obs::TraceEvent write;
+  write.layer = obs::Layer::kIo;
+  write.phase = 'X';
+  write.tid = 5;
+  write.name = "write";
+  write.ts = 1.0;
+  write.dur = 2.0;
+  write.hasBytes = true;
+  write.bytes = 4096;
+  sink.event(write);
+
+  obs::TraceEvent phase = write;  // B/E phase spans are not op records
+  phase.phase = 'B';
+  phase.name = "commit";
+  sink.event(phase);
+
+  obs::TraceEvent unknown = write;  // kIo 'X' with a non-op name
+  unknown.name = "aggregate";
+  sink.event(unknown);
+
+  ASSERT_EQ(p.records().size(), 1u);
+  EXPECT_EQ(p.records()[0].rank, 5);
+  EXPECT_EQ(p.records()[0].op, Op::kWrite);
+  EXPECT_DOUBLE_EQ(p.records()[0].end, 3.0);
+  EXPECT_EQ(p.records()[0].bytes, 4096u);
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// trace_report: offline analysis of a JSONL trace event log.
+//
+// Usage:  trace_report <events.jsonl> [--bins N]
+//
+// Reads the event log written alongside a Chrome trace by
+// `<bench> --trace <file>` (the `<file>.jsonl` twin), rebuilds the I/O
+// profile from the kIo event stream, and prints:
+//
+//   1. per-layer event/byte totals,
+//   2. a span-balance check (every 'B' must have a matching 'E'),
+//   3. the Darshan-style job summary (prof::renderReport),
+//   4. a write/handoff activity timeline (the Fig. 12 view of the run).
+//
+// The JSONL form keeps timestamps in simulated seconds, so nothing here
+// needs to undo the microsecond scaling of the Chrome stream.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/ascii.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "profiling/profile.hpp"
+#include "profiling/report.hpp"
+
+namespace {
+
+using bgckpt::obs::json::Value;
+
+struct LayerTotals {
+  std::uint64_t events = 0;
+  std::uint64_t bytes = 0;
+  double busySeconds = 0;  // sum of 'X' durations
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s <events.jsonl> [--bins N]\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  int bins = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--bins") == 0 && i + 1 < argc) {
+      bins = std::atoi(argv[++i]);
+      if (bins < 1) return usage(argv[0]);
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) return usage(argv[0]);
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path);
+    return 2;
+  }
+
+  std::map<std::string, LayerTotals> layers;
+  // Open 'B' spans per (layer, tid, name); drained by matching 'E's.
+  std::map<std::string, std::uint64_t> openSpans;
+  std::uint64_t parseErrors = 0, lines = 0, unmatchedEnds = 0;
+  bgckpt::prof::IoProfile profile;
+  double horizon = 0;
+  int maxRank = -1;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::string err;
+    const auto doc = bgckpt::obs::json::parse(line, &err);
+    if (!doc || !doc->isObject()) {
+      ++parseErrors;
+      continue;
+    }
+    const std::string cat = doc->stringOr("cat", "?");
+    const std::string name = doc->stringOr("name", "?");
+    const std::string ph = doc->stringOr("ph", "X");
+    const double ts = doc->numberOr("ts", 0);
+    const double dur = doc->numberOr("dur", 0);
+    const auto bytes =
+        static_cast<std::uint64_t>(doc->numberOr("bytes", 0));
+    const int tid = static_cast<int>(doc->numberOr("tid", 0));
+
+    auto& lt = layers[cat];
+    ++lt.events;
+    lt.bytes += bytes;
+    horizon = std::max(horizon, ts + dur);
+
+    if (ph == "B" || ph == "E") {
+      const std::string key =
+          cat + "/" + std::to_string(tid) + "/" + name;
+      if (ph == "B") {
+        ++openSpans[key];
+      } else {
+        auto it = openSpans.find(key);
+        if (it == openSpans.end() || it->second == 0)
+          ++unmatchedEnds;
+        else if (--it->second == 0)
+          openSpans.erase(it);
+      }
+    }
+    if (ph == "X") {
+      lt.busySeconds += dur;
+      if (cat == "io") {
+        if (const auto op = bgckpt::prof::opFromName(name)) {
+          profile.record(tid, *op, ts, ts + dur, bytes);
+          maxRank = std::max(maxRank, tid);
+        }
+      }
+      if (cat == "app") maxRank = std::max(maxRank, tid);
+    }
+  }
+
+  std::printf("trace_report: %s\n", path);
+  std::printf("%" PRIu64 " events on %zu layers, horizon %.3f s\n",
+              static_cast<std::uint64_t>(lines), layers.size(), horizon);
+  if (parseErrors)
+    std::printf("WARNING: %" PRIu64 " unparseable lines\n", parseErrors);
+
+  std::printf("\n%-12s %12s %16s %14s\n", "layer", "events", "bytes",
+              "busy-seconds");
+  for (const auto& [cat, lt] : layers)
+    std::printf("%-12s %12" PRIu64 " %16" PRIu64 " %14.3f\n", cat.c_str(),
+                lt.events, lt.bytes, lt.busySeconds);
+
+  std::uint64_t stillOpen = 0;
+  for (const auto& [key, n] : openSpans) stillOpen += n;
+  const bool balanced = stillOpen == 0 && unmatchedEnds == 0;
+  std::printf("\nspan balance: %s (%" PRIu64 " unclosed, %" PRIu64
+              " unmatched ends)\n",
+              balanced ? "OK" : "BROKEN", stillOpen, unmatchedEnds);
+
+  if (!profile.records().empty()) {
+    bgckpt::prof::ReportOptions opt;
+    opt.numRanks = maxRank + 1;
+    opt.jobName = "trace";
+    std::printf("\n%s", bgckpt::prof::renderReport(profile, opt).c_str());
+
+    const double binWidth = horizon / bins;
+    std::vector<std::string> names;
+    std::vector<std::vector<int>> series;
+    using bgckpt::prof::Op;
+    for (const Op op : {Op::kWrite, Op::kCreate, Op::kSend, Op::kRecv}) {
+      auto counts = profile.activityTimeline(op, binWidth, horizon);
+      if (std::any_of(counts.begin(), counts.end(),
+                      [](int c) { return c > 0; })) {
+        names.emplace_back(bgckpt::prof::opName(op));
+        series.push_back(std::move(counts));
+      }
+    }
+    if (!series.empty())
+      std::printf("\nactivity timeline (ranks active per bin):\n%s",
+                  bgckpt::analysis::activityStrip(names, series, binWidth)
+                      .c_str());
+  }
+
+  return balanced && parseErrors == 0 ? 0 : 1;
+}
