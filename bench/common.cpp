@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,7 +15,25 @@ namespace {
 
 std::string gTracePath;
 std::string gMetricsPath;
+std::string gPerfJsonPath;
 int gStacksAttached = 0;
+
+struct PerfEntry {
+  std::string label;
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
+};
+std::vector<PerfEntry> gPerfEntries;
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
 
 /// "out/trace.json" -> "out/trace.2.json" for the second stack, etc.
 std::string numbered(const std::string& path, int n) {
@@ -52,8 +71,56 @@ void obsInit(int argc, char** argv) {
       gMetricsPath = argv[++i];
     } else if (std::strncmp(a, "--metrics=", 10) == 0) {
       gMetricsPath = a + 10;
+    } else if (std::strcmp(a, "--perf-json") == 0 && i + 1 < argc) {
+      gPerfJsonPath = argv[++i];
+    } else if (std::strncmp(a, "--perf-json=", 12) == 0) {
+      gPerfJsonPath = a + 12;
     }
   }
+}
+
+void perfRecord(const std::string& label, double wallSeconds,
+                std::uint64_t events) {
+  if (gPerfJsonPath.empty()) return;
+  gPerfEntries.push_back(PerfEntry{label, wallSeconds, events});
+}
+
+bool perfFlush() {
+  if (gPerfJsonPath.empty()) return true;
+  std::FILE* f = std::fopen(gPerfJsonPath.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: --perf-json: cannot write %s\n",
+                 gPerfJsonPath.c_str());
+    return false;
+  }
+  double totalWall = 0.0;
+  std::uint64_t totalEvents = 0;
+  std::fprintf(f, "{\n  \"runs\": [\n");
+  for (std::size_t i = 0; i < gPerfEntries.size(); ++i) {
+    const PerfEntry& e = gPerfEntries[i];
+    const double eps = e.wallSeconds > 0.0
+                           ? static_cast<double>(e.events) / e.wallSeconds
+                           : 0.0;
+    std::fprintf(f,
+                 "    {\"label\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"events\": %llu, \"events_per_second\": %.0f}%s\n",
+                 jsonEscape(e.label).c_str(), e.wallSeconds,
+                 static_cast<unsigned long long>(e.events), eps,
+                 i + 1 < gPerfEntries.size() ? "," : "");
+    totalWall += e.wallSeconds;
+    totalEvents += e.events;
+  }
+  const double totalEps =
+      totalWall > 0.0 ? static_cast<double>(totalEvents) / totalWall : 0.0;
+  std::fprintf(f,
+               "  ],\n  \"total\": {\"wall_seconds\": %.6f, \"events\": %llu, "
+               "\"events_per_second\": %.0f}\n}\n",
+               totalWall, static_cast<unsigned long long>(totalEvents),
+               totalEps);
+  std::fclose(f);
+  std::printf("[perf] wrote %zu run records to %s\n", gPerfEntries.size(),
+              gPerfJsonPath.c_str());
+  return true;
 }
 
 void attachObs(iolib::SimStack& stack) {
@@ -89,6 +156,7 @@ void banner(const std::string& artifact, const std::string& description) {
 }
 
 int reportChecks(const std::vector<Check>& checks) {
+  if (!perfFlush()) return 1;
   int failures = 0;
   std::printf("\n");
   for (const auto& c : checks) {
@@ -125,7 +193,15 @@ iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
 iolib::CheckpointResult runSim(iolib::SimStack& stack, int np,
                                const iolib::StrategyConfig& cfg) {
   const auto spec = iolib::CheckpointSpec::nekcemWeakScaling(np);
-  return iolib::runCheckpoint(stack, spec, cfg);
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::uint64_t events0 = stack.sched.eventsProcessed();
+  auto result = iolib::runCheckpoint(stack, spec, cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  perfRecord("np=" + std::to_string(np) + " " + cfg.describe(), wall,
+             stack.sched.eventsProcessed() - events0);
+  return result;
 }
 
 std::vector<Approach> paperApproaches(int np) {

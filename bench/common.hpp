@@ -10,6 +10,7 @@
 //      the binary exit nonzero.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,8 +40,22 @@ std::string secs(double seconds);
 ///                      <file>.jsonl event log for tools/trace_report
 ///   --metrics <file>   export the metrics registry as JSON there, plus a
 ///                      CSV twin (.json suffix swapped for .csv)
+///   --perf-json <file> write a machine-readable perf record there: one
+///                      entry per simulated run (wall seconds, events
+///                      processed, events/sec) plus totals. Feed two of
+///                      these to tools/perf_compare to gate regressions.
 /// Unknown arguments are ignored so harnesses stay forward-compatible.
 void obsInit(int argc, char** argv);
+
+/// Record one simulated run in the --perf-json report (no-op without the
+/// flag). The runSim overloads call this automatically; harnesses that
+/// drive runCheckpoint/runCampaign themselves can call it directly.
+void perfRecord(const std::string& label, double wallSeconds,
+                std::uint64_t events);
+
+/// Write the --perf-json report, if requested. Returns false (and prints
+/// to stderr) if the file could not be written. Called by reportChecks.
+bool perfFlush();
 
 /// Attach the requested trace/metrics sinks to a stack. Called by the
 /// fresh-stack runSim overload; harnesses that build their own SimStack

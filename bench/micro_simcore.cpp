@@ -81,6 +81,71 @@ void BM_ResourceContention(benchmark::State& state) {
 }
 BENCHMARK(BM_ResourceContention)->Arg(256)->Arg(2048);
 
+// Event-queue stress cases: timestamp distributions chosen to exercise each
+// tier of the ladder queue (see scheduler.hpp). micro_queue.cpp runs the
+// same shapes against the legacy std::priority_queue for A/B comparison.
+
+void BM_QueueUniform(benchmark::State& state) {
+  // Uniform spread: events flow far pool -> near ring -> dispatch.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RngStream rng(7, "uniform");
+    state.ResumeTiming();
+    Scheduler sched;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i)
+      sched.scheduleCall(rng.uniform(0.0, 10.0), [&sum] { ++sum; });
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QueueUniform)->Arg(1 << 16);
+
+void BM_QueueBimodalNearFar(benchmark::State& state) {
+  // Dense near-cluster plus sparse far-cluster: repeated window reseeds and
+  // far-pool partition scans.
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    RngStream rng(7, "bimodal");
+    state.ResumeTiming();
+    Scheduler sched;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      const double dt = (i % 5 != 0) ? rng.uniform(0.0, 1e-5)
+                                     : rng.uniform(60.0, 660.0);
+      sched.scheduleCall(dt, [&sum] { ++sum; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QueueBimodalNearFar)->Arg(1 << 16);
+
+void BM_QueueSelfRescheduling(benchmark::State& state) {
+  // Fixed population, each process re-arms itself on dispatch: short delays
+  // land in the sorted active bucket (near-heap path) at steady state.
+  const auto procs = static_cast<int>(state.range(0));
+  constexpr int kRounds = 64;
+  for (auto _ : state) {
+    Scheduler sched;
+    auto body = [](Scheduler& s, int id) -> Task<> {
+      double dt = 1e-6 * static_cast<double>(1 + id % 17);
+      for (int r = 0; r < kRounds; ++r) {
+        co_await s.delay(dt);
+        dt = dt * 1.1 + 1e-7;
+      }
+    };
+    for (int p = 0; p < procs; ++p) sched.spawn(body(sched, p));
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * procs * kRounds);
+}
+BENCHMARK(BM_QueueSelfRescheduling)->Arg(1 << 12);
+
 void BM_RngStream(benchmark::State& state) {
   RngStream rng(1, "bench");
   double acc = 0;

@@ -10,11 +10,14 @@ namespace bgckpt::fs {
 namespace detail {
 
 struct FileState {
+  explicit FileState(sim::Scheduler& sched)
+      : tokenServer(sched, 1), metanode(sched, 1) {}
+
   std::string path;
   std::uint64_t fileId = 0;
   RangeTokenManager tokens;
-  std::unique_ptr<sim::Resource> tokenServer;  // serialises negotiations
-  std::unique_ptr<sim::Resource> metanode;     // serialises size updates
+  sim::Resource tokenServer;  // serialises negotiations
+  sim::Resource metanode;     // serialises size updates
   std::uint64_t sizeCommitted = 0;
   int lastExtender = -1;
 };
@@ -80,9 +83,7 @@ ParallelFsSim::ParallelFsSim(sim::Scheduler& sched,
 }
 
 ParallelFsSim::Directory& ParallelFsSim::directoryOf(const std::string& path) {
-  auto [it, inserted] = directories_.try_emplace(directoryName(path));
-  if (inserted) it->second.queue = std::make_unique<sim::Resource>(sched_, 1);
-  return it->second;
+  return directories_.try_emplace(directoryName(path), sched_).first->second;
 }
 
 sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
@@ -90,17 +91,17 @@ sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
   auto& dir = directoryOf(path);
   // Function-ship the request to the ION, then serialise on the directory.
   co_await sched_.delay(ion_.requestOverhead());
-  co_await dir.queue->acquire();
+  co_await dir.queue.acquire();
   {
-    sim::ScopedTokens hold(*dir.queue, 1);
+    sim::ScopedTokens hold(dir.queue, 1);
     // Directory-block contention grows with the pending-creator crowd even
     // in the healthy regime...
-    const auto q = static_cast<double>(dir.queue->queueLength());
+    const auto q = static_cast<double>(dir.queue.queueLength());
     sim::Duration cost =
         config_.createCost * (1.0 + q / config_.createQueueScale);
     // ...and beyond the cliff, every insert pays token-storm revocation
     // ping-pong on the directory blocks.
-    if (dir.queue->queueLength() >
+    if (dir.queue.queueLength() >
         static_cast<std::size_t>(config_.dirThrashThreshold)) {
       cost += rng_.lognormal(config_.dirThrashCost, config_.dirThrashSigma);
     }
@@ -112,11 +113,9 @@ sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
   {
     auto [it, inserted] = files_.try_emplace(path);
     if (inserted) {
-      it->second = std::make_shared<FileState>();
+      it->second = std::make_shared<FileState>(sched_);
       it->second->path = path;
       it->second->fileId = nextFileId_++;
-      it->second->tokenServer = std::make_unique<sim::Resource>(sched_, 1);
-      it->second->metanode = std::make_unique<sim::Resource>(sched_, 1);
     }
     state = it->second;
   }
@@ -139,9 +138,9 @@ sim::Task<FileHandle> ParallelFsSim::open(int rank, std::string path) {
   auto state = it->second;
   // Inode token fetch through the file's metanode.
   co_await sched_.delay(ion_.requestOverhead());
-  co_await state->metanode->acquire();
+  co_await state->metanode.acquire();
   {
-    sim::ScopedTokens hold(*state->metanode, 1);
+    sim::ScopedTokens hold(state->metanode, 1);
     co_await sched_.delay(config_.openCost);
   }
   if (obs_) {
@@ -166,8 +165,8 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
     const BlockRange blocks{offset / config_.blockSize,
                             (offset + len - 1) / config_.blockSize + 1};
     if (!state->tokens.holds(rank, blocks)) {
-      co_await state->tokenServer->acquire();
-      sim::ScopedTokens hold(*state->tokenServer, 1);
+      co_await state->tokenServer.acquire();
+      sim::ScopedTokens hold(state->tokenServer, 1);
       // Ascending-writer heuristic: desire everything from here up, settle
       // for what conflicts least (see RangeTokenManager::acquire).
       const auto result = state->tokens.acquire(
@@ -185,8 +184,8 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
 
   // 2. Size-token bounce when extending EOF after another client did.
   if (offset + len > state->sizeCommitted) {
-    co_await state->metanode->acquire();
-    sim::ScopedTokens hold(*state->metanode, 1);
+    co_await state->metanode.acquire();
+    sim::ScopedTokens hold(state->metanode, 1);
     if (config_.usesTokens && state->lastExtender != -1 &&
         state->lastExtender != rank) {
       if (obs_) mSizeTokenBounces_->add();
@@ -255,9 +254,9 @@ sim::Task<> ParallelFsSim::close(int rank, const FileHandle& fh) {
   auto state = fh->state_;
   const sim::SimTime opStart = sched_.now();
   if (config_.usesTokens) state->tokens.releaseClient(rank);
-  co_await state->metanode->acquire();
+  co_await state->metanode.acquire();
   {
-    sim::ScopedTokens hold(*state->metanode, 1);
+    sim::ScopedTokens hold(state->metanode, 1);
     co_await sched_.delay(config_.closeCost);
   }
   if (obs_) {

@@ -127,7 +127,8 @@ class ParallelFsSim {
 
  private:
   struct Directory {
-    std::unique_ptr<sim::Resource> queue;
+    explicit Directory(sim::Scheduler& sched) : queue(sched, 1) {}
+    sim::Resource queue;
     std::uint64_t entries = 0;
   };
 

@@ -2,8 +2,23 @@
 
 namespace bgckpt::iolib {
 
+namespace {
+
+sim::Scheduler::Config schedConfig(int numRanks, SimStackOptions& options) {
+  sim::Scheduler::Config cfg = options.scheduler;
+  if (cfg.expectedEvents == 0) {
+    // Steady state holds a few queued events per rank (a pending delay or
+    // wakeup each for the rank program, its sends, and the I/O path).
+    cfg.expectedEvents = static_cast<std::size_t>(numRanks) * 4 + 1024;
+  }
+  return cfg;
+}
+
+}  // namespace
+
 SimStack::SimStack(int numRanks, SimStackOptions options)
-    : mach(machine::intrepidMachine(numRanks)),
+    : sched(schedConfig(numRanks, options)),
+      mach(machine::intrepidMachine(numRanks)),
       torus(sched, mach, &obs),
       coll(mach),
       ion(sched, mach, &obs),

@@ -18,7 +18,7 @@ struct Group {
   obs::Observability* obs = nullptr;  // shared across subgroups
   std::shared_ptr<sim::RngStream> jitter;  // shared across subgroups
   std::vector<int> globalRanks;
-  std::unique_ptr<sim::Barrier> barrier;
+  sim::Barrier barrier;  // direct member: Group itself lives behind shared_ptr
 
   struct Waiter {
     int src = kAnySource;
@@ -58,7 +58,7 @@ struct Group {
         obs(o),
         jitter(std::move(j)),
         globalRanks(std::move(ranks)),
-        barrier(std::make_unique<sim::Barrier>(s, globalRanks.size())),
+        barrier(s, globalRanks.size()),
         boxes(globalRanks.size()),
         gatherAccum(globalRanks.size(), 0),
         splitLocalRank(globalRanks.size(), -1) {}
@@ -216,7 +216,7 @@ sim::Task<> Comm::waitAll(const std::vector<Request>& reqs) {
 sim::Task<> Comm::barrier() {
   auto& g = *group_;
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   co_await g.sched.delay(g.coll.barrierCost(g.size()));
 }
 
@@ -224,7 +224,7 @@ sim::Task<Message> Comm::bcast(int root, Message msg) {
   auto& g = *group_;
   if (rank_ == root) g.bcastSlot = msg;
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   Message result = g.bcastSlot;
   co_await g.sched.delay(
       g.coll.broadcastCost(g.size(), result.size));
@@ -235,7 +235,7 @@ sim::Task<double> Comm::allReduceSum(double value) {
   auto& g = *group_;
   g.reduceSumAccum += value;
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   const double result = g.reduceSumResult;
   co_await g.sched.delay(g.coll.reduceCost(g.size(), sizeof(double)) +
                          g.coll.broadcastCost(g.size(), sizeof(double)));
@@ -246,7 +246,7 @@ sim::Task<double> Comm::allReduceMax(double value) {
   auto& g = *group_;
   g.reduceMaxAccum = std::max(g.reduceMaxAccum, value);
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   const double result = g.reduceMaxResult;
   co_await g.sched.delay(g.coll.reduceCost(g.size(), sizeof(double)) +
                          g.coll.broadcastCost(g.size(), sizeof(double)));
@@ -257,7 +257,7 @@ sim::Task<std::vector<std::uint64_t>> Comm::allGatherU64(std::uint64_t value) {
   auto& g = *group_;
   g.gatherAccum[static_cast<std::size_t>(rank_)] = value;
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   std::vector<std::uint64_t> result = g.gatherResult;
   co_await g.sched.delay(
       g.coll.reduceCost(g.size(), sizeof(std::uint64_t)) +
@@ -271,7 +271,7 @@ Comm::allGatherU64Shared(std::uint64_t value) {
   auto& g = *group_;
   g.gatherAccum[static_cast<std::size_t>(rank_)] = value;
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   auto result = g.gatherShared;
   co_await g.sched.delay(
       g.coll.reduceCost(g.size(), sizeof(std::uint64_t)) +
@@ -284,7 +284,7 @@ sim::Task<Comm> Comm::split(int color, int key) {
   auto& g = *group_;
   g.splitEntries.emplace_back(color, key, rank_);
   if (++g.collArrived == g.size()) g.finalizeCollective();
-  co_await g.barrier->arriveAndWait();
+  co_await g.barrier.arriveAndWait();
   auto sub = g.splitGroups.at(color);
   const int newRank = g.splitLocalRank[static_cast<std::size_t>(rank_)];
   co_await g.sched.delay(g.coll.barrierCost(g.size()));

@@ -8,8 +8,7 @@
 // forwarding overhead.
 #pragma once
 
-#include <memory>
-#include <vector>
+#include <deque>
 
 #include "machine/bgp.hpp"
 #include "obs/obs.hpp"
@@ -41,7 +40,7 @@ class IonForwarding {
   sim::Scheduler& sched_;
   const machine::Machine& mach_;
   obs::Observability* obs_;
-  std::vector<std::unique_ptr<sim::Resource>> uplink_;  // per pset
+  std::deque<sim::Resource> uplink_;  // per pset, by value (non-movable)
   std::uint64_t requests_ = 0;
   sim::Bytes bytes_ = 0;
   // Metric handles, resolved once (null when unobserved).

@@ -15,11 +15,9 @@ TorusNetwork::TorusNetwork(sim::Scheduler& sched,
       // Receive-side drain: a memory copy sharing the node's memory system
       // with its other cores; use half the node memory bandwidth.
       drainBandwidth_(mach.compute().memoryBandwidth / 2.0) {
-  injection_.reserve(static_cast<std::size_t>(mach.numNodes()));
-  ejection_.reserve(static_cast<std::size_t>(mach.numNodes()));
   for (int n = 0; n < mach.numNodes(); ++n) {
-    injection_.push_back(std::make_unique<sim::Resource>(sched, 1));
-    ejection_.push_back(std::make_unique<sim::Resource>(sched, 1));
+    injection_.emplace_back(sched, 1);
+    ejection_.emplace_back(sched, 1);
   }
   if (obs_) {
     auto& m = obs_->metrics();
@@ -42,10 +40,23 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
     co_await sched_.delay(cc.mpiOverhead +
                           sim::transferTime(bytes, cc.memoryBandwidth));
   } else {
-    // NIC serialisation at the source.
-    co_await injection_[static_cast<std::size_t>(srcNode)]->acquire();
+    // Acquire/release ordering audit: the source NIC token is held only
+    // across the serialisation delay and released (ScopedTokens scope ends)
+    // BEFORE the flight delay and before the ejection port is requested.
+    // A slow or blocked receiver therefore can never pin a sender-side NIC
+    // token, and injection->ejection hold-and-wait (the classic endpoint
+    // deadlock cycle) is impossible. torus_test's
+    // SlowReceiverDoesNotDeadlockSenderNic regression locks this in.
+    //
+    // Fragmentation is batched analytically: instead of simulating the
+    // message packet-by-packet (BG/P wormhole routing, 256-byte FLITs — an
+    // rbIO writer handoff would be ~16K fragment events), the pipelined
+    // transfer is costed in closed form as serialisation + hops * hopLatency,
+    // so a handoff of any size is O(1) events. torus_test's
+    // TransferEventCostIsConstantInMessageSize regression locks this in.
+    co_await injection_[static_cast<std::size_t>(srcNode)].acquire();
     {
-      sim::ScopedTokens nic(*injection_[static_cast<std::size_t>(srcNode)], 1);
+      sim::ScopedTokens nic(injection_[static_cast<std::size_t>(srcNode)], 1);
       const sim::Duration busy =
           cc.mpiOverhead + sim::transferTime(bytes, cc.torusLinkBandwidth);
       co_await sched_.delay(busy);
@@ -55,9 +66,9 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
     const int hops = mach_.torusHops(srcNode, dstNode);
     co_await sched_.delay(static_cast<double>(hops) * cc.torusHopLatency);
     // Receiver drain at the destination.
-    co_await ejection_[static_cast<std::size_t>(dstNode)]->acquire();
+    co_await ejection_[static_cast<std::size_t>(dstNode)].acquire();
     {
-      sim::ScopedTokens port(*ejection_[static_cast<std::size_t>(dstNode)], 1);
+      sim::ScopedTokens port(ejection_[static_cast<std::size_t>(dstNode)], 1);
       co_await sched_.delay(sim::transferTime(bytes, drainBandwidth_));
     }
   }

@@ -1,0 +1,67 @@
+#include "simcore/arena.hpp"
+
+#include <cstdlib>
+
+namespace bgckpt::sim {
+
+FrameArena& FrameArena::instance() {
+  thread_local FrameArena arena;
+  return arena;
+}
+
+FrameArena::~FrameArena() {
+  for (char* slab : slabs_) ::operator delete(slab);
+}
+
+void* FrameArena::allocate(std::size_t bytes) {
+  ++stats_.allocs;
+  if (bytes == 0) bytes = 1;
+  const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
+  if (cls > kMaxClasses) {
+    ++stats_.oversized;
+    return ::operator new(bytes);
+  }
+  stats_.liveBytes += cls * kGranularity;
+  FreeBlock*& head = freeLists_[cls - 1];
+  if (head != nullptr) {
+    ++stats_.poolHits;
+    void* p = head;
+    head = head->next;
+    return p;
+  }
+  return refill(cls);
+}
+
+void FrameArena::deallocate(void* p, std::size_t bytes) noexcept {
+  if (p == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
+  if (cls > kMaxClasses) {
+    ::operator delete(p);
+    return;
+  }
+  stats_.liveBytes -= cls * kGranularity;
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = freeLists_[cls - 1];
+  freeLists_[cls - 1] = block;
+}
+
+void* FrameArena::refill(std::size_t cls) {
+  const std::size_t blockBytes = cls * kGranularity;
+  if (slabRemaining_ < blockBytes) {
+    // Coroutine frames only require alignment <= __STDCPP_DEFAULT_NEW_ALIGNMENT__
+    // through non-aligned operator new, and kGranularity is a multiple of it,
+    // so carving the slab at 64-byte boundaries keeps every block aligned.
+    char* slab = static_cast<char*>(::operator new(kSlabBytes));
+    slabs_.push_back(slab);
+    slabCursor_ = slab;
+    slabRemaining_ = kSlabBytes;
+    stats_.slabBytes += kSlabBytes;
+  }
+  void* p = slabCursor_;
+  slabCursor_ += blockBytes;
+  slabRemaining_ -= blockBytes;
+  return p;
+}
+
+}  // namespace bgckpt::sim

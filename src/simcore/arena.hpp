@@ -1,0 +1,84 @@
+// Pooled allocator for coroutine frames.
+//
+// Every simulated process and awaited sub-task is a coroutine, so a 64K-rank
+// run allocates and frees hundreds of thousands of frames with a handful of
+// distinct sizes. `FrameArena` recycles them: frames come from size-class
+// free lists backed by large slabs that are bump-allocated once and reused
+// for the rest of the process, so steady-state frame churn never touches
+// malloc. `Task<T>::promise_type` (task.hpp) and the scheduler's RootRunner
+// opt in by inheriting `detail::FrameArenaAllocated`.
+//
+// The arena is thread-local: the simulator is single-threaded, and hostio's
+// thread-per-rank backend does not run coroutines, but a per-thread arena
+// keeps the allocator correct even if tasks are ever built on another
+// thread (frames must then be destroyed on the thread that created them —
+// already true of every current use).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace bgckpt::sim {
+
+class FrameArena {
+ public:
+  struct Stats {
+    std::uint64_t allocs = 0;       // total allocate() calls
+    std::uint64_t poolHits = 0;     // served from a free list
+    std::uint64_t oversized = 0;    // fell through to operator new
+    std::size_t slabBytes = 0;      // reserved slab storage
+    std::size_t liveBytes = 0;      // currently outstanding frame bytes
+  };
+
+  /// The calling thread's arena.
+  static FrameArena& instance();
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  const Stats& stats() const { return stats_; }
+
+  FrameArena() = default;
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+  ~FrameArena();
+
+ private:
+  // Frames round up to 64-byte granularity; sizes beyond the largest class
+  // (a pathological coroutine frame) fall through to global operator new.
+  static constexpr std::size_t kGranularity = 64;
+  static constexpr std::size_t kMaxClasses = 64;  // up to 4 KiB pooled
+  static constexpr std::size_t kSlabBytes = 256 * 1024;
+
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+
+  void* refill(std::size_t cls);
+
+  FreeBlock* freeLists_[kMaxClasses] = {};
+  std::vector<char*> slabs_;
+  char* slabCursor_ = nullptr;
+  std::size_t slabRemaining_ = 0;
+  Stats stats_;
+};
+
+namespace detail {
+
+/// Mixin giving a coroutine promise (and therefore its frame) arena-backed
+/// allocation. The sized delete is required so blocks return to the right
+/// size class.
+struct FrameArenaAllocated {
+  static void* operator new(std::size_t bytes) {
+    return FrameArena::instance().allocate(bytes);
+  }
+  static void operator delete(void* p, std::size_t bytes) noexcept {
+    FrameArena::instance().deallocate(p, bytes);
+  }
+};
+
+}  // namespace detail
+
+}  // namespace bgckpt::sim

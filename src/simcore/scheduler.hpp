@@ -6,6 +6,32 @@
 // `delay(dt)` and interact through the synchronisation primitives in
 // channel.hpp / resource.hpp, all of which route wakeups through this queue
 // so that execution order is deterministic: (time, insertion sequence).
+//
+// Event storage is tiered for throughput (the queue is the hot path that
+// bounds how large a machine the figure benches can afford):
+//
+//   tier 0  "now" FIFO     events at exactly the current time — the wakeups
+//                          scheduled by Resource::release, Channel::push,
+//                          Gate::fire and Barrier release. Pushed and popped
+//                          in O(1) with no comparisons.
+//   tier 1  near ring      a window of 256 time buckets. Events whose time
+//                          falls inside the window append in O(1); a bucket
+//                          is sorted once, when it becomes the active
+//                          (lowest) bucket — a simplified ladder queue.
+//   tier 2  far pool       an unsorted vector of 24-byte (time, seq, index)
+//                          keys for events beyond the window: O(1) push.
+//                          When the ring drains, one partition scan moves
+//                          everything inside a new window (sized from the
+//                          observed timestamp spread) into the buckets and
+//                          compacts the rest — amortized O(1) per event,
+//                          no heap sifting.
+//
+// Event payloads (coroutine handle / callback) live in a pooled free list,
+// so steady-state scheduling performs no allocation and heap sifts move
+// small PODs instead of whole events. All tiers pop in strict (time, seq)
+// order, so the dispatch sequence is bit-identical to a single binary heap;
+// `Config::legacyQueue` keeps the straightforward std::priority_queue
+// implementation selectable as an A/B reference for determinism tests.
 #pragma once
 
 #include <coroutine>
@@ -43,12 +69,26 @@ class SchedulerHooks {
 
 class Scheduler {
  public:
-  Scheduler() = default;
+  struct Config {
+    /// Pre-reserve pool/heap storage for roughly this many queued events.
+    std::size_t expectedEvents = 0;
+    /// Use the reference std::priority_queue implementation instead of the
+    /// tiered queue. Dispatch order is identical; this exists so tests can
+    /// prove it (old-vs-new determinism regression).
+    bool legacyQueue = false;
+  };
+
+  Scheduler() : Scheduler(Config{}) {}
+  explicit Scheduler(const Config& config);
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulated time in seconds.
   SimTime now() const { return now_; }
+
+  /// Pre-reserve queue storage for roughly `expectedEvents` queued events
+  /// (a capacity hint; the queue still grows on demand).
+  void reserve(std::size_t expectedEvents);
 
   /// Queue a coroutine resumption `delay` seconds from now.
   void scheduleResume(Duration delay, std::coroutine_handle<> h);
@@ -90,27 +130,80 @@ class Scheduler {
   std::uint64_t eventsProcessed() const { return eventsProcessed_; }
 
   /// Events currently queued (diagnostic; sampled by SchedulerHooks).
-  std::size_t queueDepth() const { return queue_.size(); }
+  std::size_t queueDepth() const {
+    return legacy_ ? legacyQueue_.size() : size_;
+  }
+
+  /// Event-pool slots ever allocated (diagnostic: a drained-and-refilled
+  /// queue reuses slots instead of growing, which tests assert).
+  std::size_t eventPoolSize() const { return pool_.size(); }
 
   /// Install (or clear, with nullptr) the observation hooks. The hooks
   /// object is borrowed and must outlive the scheduler or be cleared first.
   void setHooks(SchedulerHooks* hooks) { hooks_ = hooks; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kBuckets = 256;
+
+  struct EventNode {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> handle;  // null => callback event
+    std::function<void()> callback;
+    std::uint32_t nextFree = kNil;
+  };
+  struct FarEntry {
     SimTime time;
     std::uint64_t seq;
-    std::coroutine_handle<> handle;    // exactly one of handle/callback set
+    std::uint32_t idx;
+  };
+  struct FarLater {  // max-heap adaptor ordering -> min-(time, seq) heap
+    bool operator()(const FarEntry& a, const FarEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  struct FarEarlier {
+    bool operator()(const FarEntry& a, const FarEntry& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
+    }
+  };
+
+  // Reference implementation (Config::legacyQueue).
+  struct LegacyEvent {
+    SimTime time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
     std::function<void()> callback;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  struct LegacyLater {
+    bool operator()(const LegacyEvent& a, const LegacyEvent& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  void dispatch(Event& ev);
+  std::uint32_t allocNode();
+  void freeNode(std::uint32_t idx);
+  void pushIndex(std::uint32_t idx);
+  void pushRing(std::uint32_t idx, SimTime t);
+  /// Pop the globally minimal (time, seq) event; requires size_ > 0.
+  std::uint32_t popReady();
+  void popRing();
+  void popNear();
+  /// Make buckets_[activeBucket_] the sorted, non-empty lowest bucket.
+  /// Requires ringCount_ > 0.
+  void prepareActiveBucket();
+  /// Seed a fresh window from the far heap; requires !far_.empty().
+  void refillFromFar();
+  /// Timestamp of the next event (infinity when empty).
+  SimTime nextEventTime();
+  /// Dispatch one event; requires a non-empty queue.
+  void step();
+  void stepLegacy();
+
   void noteRootDone(std::uint64_t rootId) {
     --liveRoots_;
     if (hooks_) hooks_->onRootDone(rootId, now_);
@@ -123,7 +216,42 @@ class Scheduler {
 
   friend struct RootRunner;
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Event pool.
+  std::vector<EventNode> pool_;
+  std::uint32_t freeHead_ = kNil;
+
+  // Tier 0: events at exactly now_, FIFO (== seq) order.
+  std::vector<std::uint32_t> nowQ_;
+  std::size_t nowHead_ = 0;
+
+  // Tier 1: near-future ring. Bucket i covers
+  // [windowLo_ + i * bucketWidth_, windowLo_ + (i + 1) * bucketWidth_).
+  // Buckets carry (time, seq, idx) entries so activation sorts and head
+  // comparisons stay cache-local instead of gather-loading the pool.
+  // Events that land in the active bucket after it was sorted go to the
+  // small `near_` heap instead (a middle-insert into the sorted bucket is
+  // O(bucket) memmove, and short delays make it the common case).
+  std::vector<std::vector<FarEntry>> buckets_;
+  std::vector<FarEntry> near_;
+  double bucketWidth_ = 0.0;  // 0 until the first window is seeded
+  SimTime windowLo_ = 0.0;
+  SimTime windowEnd_ = 0.0;
+  std::size_t activeBucket_ = 0;
+  std::size_t drainPos_ = 0;
+  bool activeSorted_ = false;
+  std::size_t ringCount_ = 0;
+
+  // Tier 2: far-future pool, unsorted. farMin_/farMax_ are exact bounds,
+  // maintained on push and recomputed by the refill partition scan.
+  std::vector<FarEntry> far_;
+  SimTime farMin_ = 0.0;
+  SimTime farMax_ = 0.0;
+
+  std::priority_queue<LegacyEvent, std::vector<LegacyEvent>, LegacyLater>
+      legacyQueue_;
+  const bool legacy_ = false;
+
+  std::size_t size_ = 0;
   SimTime now_ = 0.0;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t eventsProcessed_ = 0;

@@ -15,6 +15,8 @@
 #include <utility>
 #include <variant>
 
+#include "simcore/arena.hpp"
+
 namespace bgckpt::sim {
 
 template <typename T = void>
@@ -35,7 +37,10 @@ struct FinalAwaiter {
   void await_resume() const noexcept {}
 };
 
-struct PromiseBase {
+// Inheriting FrameArenaAllocated routes the whole coroutine frame (the
+// compiler sizes operator new for frame + promise) through the pooled
+// arena, so per-await frame churn recycles instead of hitting malloc.
+struct PromiseBase : FrameArenaAllocated {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
 

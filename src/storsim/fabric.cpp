@@ -13,12 +13,9 @@ StorageFabric::StorageFabric(sim::Scheduler& sched,
       obs_(obs),
       rng_(seed, "storage-fabric"),
       noise_(noise) {
-  servers_.reserve(static_cast<std::size_t>(numServers()));
   for (int s = 0; s < numServers(); ++s)
-    servers_.push_back(
-        std::make_unique<sim::Resource>(sched, serverConcurrency));
-  arrays_.resize(static_cast<std::size_t>(numArrays()));
-  for (auto& a : arrays_) a.port = std::make_unique<sim::Resource>(sched, 1);
+    servers_.emplace_back(sched, serverConcurrency);
+  for (int a = 0; a < numArrays(); ++a) arrayPorts_.emplace_back(sched, 1);
   if (obs_) {
     auto& m = obs_->metrics();
     mRequests_ = &m.counter("stor.requests");
@@ -56,8 +53,8 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
                                    sim::Bandwidth serverRate,
                                    sim::Bandwidth arrayRate) {
   const double start = sched_.now();
-  auto& server = *servers_.at(static_cast<std::size_t>(serverId));
-  auto& arr = arrays_[static_cast<std::size_t>(arrayOfServer(serverId))];
+  auto& server = servers_.at(static_cast<std::size_t>(serverId));
+  auto& arrayPort = arrayPorts_[static_cast<std::size_t>(arrayOfServer(serverId))];
 
   // Stage 1: the file server ingests and processes the request.
   co_await server.acquire();
@@ -73,9 +70,9 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
 
   // Stage 2: the backing DDN array commits the data. Eight servers share
   // one array, so this is where cross-server interference appears.
-  co_await arr.port->acquire();
+  co_await arrayPort.acquire();
   {
-    sim::ScopedTokens hold(*arr.port, 1);
+    sim::ScopedTokens hold(arrayPort, 1);
     const sim::Duration busy =
         seekPenalty(stream) + sim::transferTime(bytes, arrayRate);
     co_await sched_.delay(busy);
@@ -104,14 +101,14 @@ double StorageFabric::noiseFactor() {
 
 sim::Duration StorageFabric::seekPenalty(StreamId stream) {
   const double now = sched_.now();
-  // Periodic purge of streams idle for longer than the window.
-  if (now - lastPurge_ > kStreamWindow) {
-    std::erase_if(recentStreams_, [&](const auto& kv) {
-      return now - kv.second > kStreamWindow;
-    });
-    lastPurge_ = now;
+  expireStreams(now);
+  auto [it, inserted] = recentStreams_.try_emplace(stream, now);
+  if (inserted) {
+    ++activeCount_;
+  } else {
+    it->second = now;
   }
-  recentStreams_[stream] = now;
+  touches_.emplace_back(now, stream);
   const int active = activeStreams();
   const int knee = mach_.io().ddnStreamKnee;
   if (active <= knee) return 0.0;
@@ -124,16 +121,28 @@ sim::Duration StorageFabric::seekPenalty(StreamId stream) {
 }
 
 int StorageFabric::activeStreams() const {
-  const double now = sched_.now();
-  // The exact scan is O(streams); cache it briefly since thousands of
-  // requests can land at effectively the same simulated time.
+  const sim::SimTime now = sched_.now();
   if (now == activeCacheTime_) return activeCache_;
-  int active = 0;
-  for (const auto& [id, last] : recentStreams_)
-    if (now - last <= kStreamWindow) ++active;
-  activeCache_ = active;
+  expireStreams(now);
+  activeCache_ = activeCount_;
   activeCacheTime_ = now;
-  return active;
+  return activeCache_;
+}
+
+void StorageFabric::expireStreams(sim::SimTime now) const {
+  // A touch record at time t stops counting once now - t > kStreamWindow.
+  // The record carries the stream's then-latest touch time, so the stream
+  // retires only if it was not touched again since (map value unchanged);
+  // after the drain every surviving map entry is within the window.
+  while (!touches_.empty() && now - touches_.front().first > kStreamWindow) {
+    const auto [t, s] = touches_.front();
+    touches_.pop_front();
+    auto it = recentStreams_.find(s);
+    if (it != recentStreams_.end() && it->second == t) {
+      recentStreams_.erase(it);
+      --activeCount_;
+    }
+  }
 }
 
 }  // namespace bgckpt::stor

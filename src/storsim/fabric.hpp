@@ -16,9 +16,8 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <deque>
 #include <unordered_map>
-#include <vector>
 
 #include "machine/bgp.hpp"
 #include "obs/obs.hpp"
@@ -85,14 +84,12 @@ class StorageFabric {
   int activeStreams() const;
 
  private:
-  struct Array {
-    std::unique_ptr<sim::Resource> port;
-  };
-
   sim::Task<> service(int serverId, StreamId stream, sim::Bytes bytes,
                       sim::Bandwidth serverRate, sim::Bandwidth arrayRate);
   double noiseFactor();
   sim::Duration seekPenalty(StreamId stream);
+  /// Drop streams idle past kStreamWindow (lazy, driven by touch records).
+  void expireStreams(sim::SimTime now) const;
 
   static constexpr sim::Duration kStreamWindow = 2.0;  // seconds
 
@@ -101,14 +98,24 @@ class StorageFabric {
   obs::Observability* obs_;
   sim::RngStream rng_;
   NoiseModel noise_;
-  std::vector<std::unique_ptr<sim::Resource>> servers_;
-  std::vector<Array> arrays_;
-  // stream -> last time it touched the fabric; stale entries purged lazily.
-  // The interleave pressure that matters on the shared DDN tier is the
-  // system-wide count of concurrent write streams, since every file's
-  // blocks stripe over all servers and arrays.
-  std::unordered_map<StreamId, sim::SimTime> recentStreams_;
-  sim::SimTime lastPurge_ = 0;
+  // By-value FIFO resources (deque: Resource is non-movable).
+  std::deque<sim::Resource> servers_;
+  std::deque<sim::Resource> arrayPorts_;
+  // stream -> last time it touched the fabric. The interleave pressure that
+  // matters on the shared DDN tier is the system-wide count of concurrent
+  // write streams, since every file's blocks stripe over all servers and
+  // arrays. The count is maintained incrementally: every touch appends a
+  // (time, stream) record, and records older than kStreamWindow retire
+  // their stream (if not re-touched since) as simulated time advances —
+  // O(1) amortized per request instead of an O(streams) scan.
+  // Mutable: activeStreams() is a const diagnostic but drives lazy expiry.
+  mutable std::unordered_map<StreamId, sim::SimTime> recentStreams_;
+  mutable std::deque<std::pair<sim::SimTime, StreamId>> touches_;
+  mutable int activeCount_ = 0;
+  // The reported count is sampled once per distinct timestamp: requests
+  // landing at the same simulated instant all see the crowd as it stood
+  // when the first of them looked (they are "concurrent" — none of them
+  // has finished announcing itself to the others).
   mutable int activeCache_ = 0;
   mutable sim::SimTime activeCacheTime_ = -1.0;
   sim::Bytes bytesWritten_ = 0;

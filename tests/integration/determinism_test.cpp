@@ -1,0 +1,51 @@
+// Old-vs-new event queue determinism: the tiered queue must be an exact
+// drop-in for the legacy std::priority_queue — same dispatch order, so the
+// full figure-5 stack produces bit-identical results at scale. Any drift
+// here means the tiered queue reordered equal-time events and every figure
+// in the paper reproduction silently changed.
+#include <gtest/gtest.h>
+
+#include "iolib/stack.hpp"
+#include "iolib/strategies.hpp"
+
+namespace bgckpt {
+namespace {
+
+struct StackOutcome {
+  std::uint64_t events;
+  double finalTime;
+  double bandwidth;
+  double makespan;
+};
+
+StackOutcome runFig5Stack(bool legacyQueue) {
+  constexpr int kNp = 16384;
+  iolib::SimStackOptions opt;  // default options == the figure benches
+  opt.scheduler.legacyQueue = legacyQueue;
+  iolib::SimStack stack(kNp, opt);
+  const auto spec = iolib::CheckpointSpec::nekcemWeakScaling(kNp);
+  const auto r =
+      runCheckpoint(stack, spec, iolib::StrategyConfig::rbIo(64, true));
+  return {stack.sched.eventsProcessed(), stack.sched.now(), r.bandwidth,
+          r.makespan};
+}
+
+TEST(Determinism, TieredQueueReproducesLegacyFig5StackExactly) {
+  const auto tiered = runFig5Stack(false);
+  const auto legacy = runFig5Stack(true);
+  EXPECT_EQ(tiered.events, legacy.events);
+  EXPECT_EQ(tiered.finalTime, legacy.finalTime);  // bit-identical, no EQ_NEAR
+  EXPECT_EQ(tiered.bandwidth, legacy.bandwidth);
+  EXPECT_EQ(tiered.makespan, legacy.makespan);
+}
+
+TEST(Determinism, RepeatedTieredRunsAreBitIdentical) {
+  const auto a = runFig5Stack(false);
+  const auto b = runFig5Stack(false);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.finalTime, b.finalTime);
+  EXPECT_EQ(a.bandwidth, b.bandwidth);
+}
+
+}  // namespace
+}  // namespace bgckpt

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "simcore/arena.hpp"
 #include "simcore/sync.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -171,6 +174,126 @@ TEST(Scheduler, DeadlockLeavesLiveRoots) {
   sched.spawn(body());
   sched.run();
   EXPECT_EQ(sched.liveRoots(), 1u);  // stuck process detected
+}
+
+// --- tiered event queue vs. the legacy priority_queue reference ----------
+
+Scheduler::Config queueConfig(bool legacy) {
+  Scheduler::Config cfg;
+  cfg.legacyQueue = legacy;
+  return cfg;
+}
+
+/// Both queue implementations must dispatch an arbitrary schedule in the
+/// exact same order: (time, insertion seq). Uses a deterministic LCG so the
+/// "random" schedule is identical on both sides, with timestamps spanning
+/// many near-window reseeds plus duplicate-time runs.
+TEST(Scheduler, TieredQueueMatchesLegacyDispatchOrder) {
+  auto runSide = [](bool legacy) {
+    Scheduler sched(queueConfig(legacy));
+    std::vector<int> order;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg] {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      return static_cast<double>(lcg >> 33);
+    };
+    for (int i = 0; i < 2000; ++i) {
+      double t = next() / 1e6;
+      if (i % 7 == 0) t = 42.0;        // duplicate-time runs
+      if (i % 13 == 0) t = t * 1e4;    // far-tier outliers
+      sched.scheduleCall(t, [&order, i] { order.push_back(i); });
+    }
+    // Events scheduled from inside callbacks (time has advanced) as well.
+    sched.scheduleCall(1.0, [&] {
+      for (int i = 2000; i < 2100; ++i)
+        sched.scheduleCall(static_cast<double>(i % 11),
+                           [&order, i] { order.push_back(i); });
+    });
+    sched.run();
+    return order;
+  };
+  const auto tiered = runSide(false);
+  const auto legacy = runSide(true);
+  ASSERT_EQ(tiered.size(), 2100u);
+  EXPECT_EQ(tiered, legacy);
+}
+
+TEST(Scheduler, RunUntilStopsAcrossQueueWindowBoundaries) {
+  // Timestamps spread over nine decades force multiple far-pool refills;
+  // runUntil must still stop exactly at the boundary regardless of which
+  // tier the next event sits in.
+  Scheduler sched;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double t = 1e-6 * std::pow(10.0, i % 9) * (1 + i);
+    sched.scheduleCall(t, [&fired] { ++fired; });
+  }
+  const int before = fired;
+  sched.runUntil(1.0);
+  EXPECT_DOUBLE_EQ(sched.now(), 1.0);
+  EXPECT_GT(fired, before);
+  const int atBoundary = fired;
+  sched.run();
+  EXPECT_GT(fired, atBoundary);
+  EXPECT_EQ(fired, 200);
+}
+
+TEST(Scheduler, EventPoolIsRecycledNotGrown) {
+  // A self-rescheduling process keeps exactly one event in flight; the
+  // node pool must recycle that slot instead of growing per event.
+  Scheduler sched;
+  auto body = [](Scheduler& s) -> Task<> {
+    for (int i = 0; i < 1000; ++i) co_await s.delay(1.0);
+  };
+  sched.spawn(body(sched));
+  sched.run();
+  EXPECT_GE(sched.eventsProcessed(), 1000u);
+  EXPECT_LE(sched.eventPoolSize(), 8u);
+}
+
+TEST(Scheduler, ReserveDoesNotChangeBehaviour) {
+  Scheduler sized(Scheduler::Config{1 << 16, false});
+  Scheduler unsized;
+  std::vector<int> a, b;
+  for (int i = 0; i < 100; ++i) {
+    sized.scheduleCall(static_cast<double>(100 - i), [&a, i] { a.push_back(i); });
+    unsized.scheduleCall(static_cast<double>(100 - i),
+                         [&b, i] { b.push_back(i); });
+  }
+  sized.run();
+  unsized.run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(FrameArena, CoroutineFramesHitThePool) {
+  const auto& stats = FrameArena::instance().stats();
+  const std::uint64_t allocs0 = stats.allocs;
+  const std::uint64_t hits0 = stats.poolHits;
+  Scheduler sched;
+  auto body = [](Scheduler& s) -> Task<> { co_await s.delay(1.0); };
+  // First wave populates the free lists, second wave must be served from
+  // them: frames are recycled, not re-carved from slabs.
+  for (int wave = 0; wave < 2; ++wave) {
+    for (int i = 0; i < 64; ++i) sched.spawn(body(sched));
+    sched.run();
+  }
+  const std::uint64_t allocs = stats.allocs - allocs0;
+  const std::uint64_t hits = stats.poolHits - hits0;
+  EXPECT_GE(allocs, 128u);  // every frame went through the arena
+  EXPECT_GE(hits * 2, allocs);  // at least the second wave recycled
+}
+
+TEST(FrameArena, LiveBytesReturnToWatermarkAfterRun) {
+  auto& arena = FrameArena::instance();
+  const std::size_t live0 = arena.stats().liveBytes;
+  {
+    Scheduler sched;
+    auto body = [](Scheduler& s) -> Task<> { co_await s.delay(1.0); };
+    for (int i = 0; i < 256; ++i) sched.spawn(body(sched));
+    sched.run();
+  }
+  // Every frame allocated during the run must have been returned.
+  EXPECT_EQ(arena.stats().liveBytes, live0);
 }
 
 }  // namespace

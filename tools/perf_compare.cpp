@@ -1,0 +1,135 @@
+// perf_compare: gate simulator performance against a committed baseline.
+//
+// Reads two --perf-json reports (emitted by the figure benches) and fails
+// if the current run regressed beyond a tolerance:
+//
+//   perf_compare baseline.json current.json [--tolerance 0.15] [--no-wall]
+//
+// Two independent gates:
+//
+//   events  the total simulated event count. For a fixed seed the simulator
+//           is deterministic, so ANY change here is a real change in the
+//           amount of work the simulation performs (an accidental extra
+//           event per message, a lost batching optimisation, ...). Machine
+//           independent — safe to enforce in CI. Events may also not move
+//           by more than the tolerance in either direction without the
+//           baseline being regenerated.
+//
+//   wall    total wall-clock seconds, compared only upward (slower). Wall
+//           time depends on the host, so CI passes --no-wall and only
+//           developers' local runs (same machine as their baseline) gate
+//           on it.
+//
+// Exit code: 0 pass, 1 regression, 2 usage/parse error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+struct PerfTotals {
+  double wallSeconds = 0.0;
+  double events = 0.0;
+  bool ok = false;
+};
+
+/// Minimal extraction: find the "total" object and read its fields. The
+/// reports are machine-written by bench/common.cpp, so a full JSON parser
+/// is not warranted.
+PerfTotals readTotals(const std::string& path) {
+  PerfTotals t;
+  std::ifstream in(path);
+  if (!in) return t;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const auto totalPos = text.find("\"total\"");
+  if (totalPos == std::string::npos) return t;
+  auto field = [&](const char* name) -> double {
+    const auto pos = text.find(name, totalPos);
+    if (pos == std::string::npos) return -1.0;
+    const auto colon = text.find(':', pos);
+    if (colon == std::string::npos) return -1.0;
+    return std::strtod(text.c_str() + colon + 1, nullptr);
+  };
+  t.wallSeconds = field("\"wall_seconds\"");
+  t.events = field("\"events\"");
+  t.ok = t.wallSeconds >= 0.0 && t.events >= 0.0;
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baselinePath = nullptr;
+  const char* currentPath = nullptr;
+  double tolerance = 0.15;
+  bool checkWall = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--tolerance=", 12) == 0) {
+      tolerance = std::atof(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--no-wall") == 0) {
+      checkWall = false;
+    } else if (!baselinePath) {
+      baselinePath = argv[i];
+    } else if (!currentPath) {
+      currentPath = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: perf_compare BASELINE.json CURRENT.json "
+                           "[--tolerance FRAC] [--no-wall]\n");
+      return 2;
+    }
+  }
+  if (!baselinePath || !currentPath) {
+    std::fprintf(stderr, "usage: perf_compare BASELINE.json CURRENT.json "
+                         "[--tolerance FRAC] [--no-wall]\n");
+    return 2;
+  }
+
+  const PerfTotals base = readTotals(baselinePath);
+  const PerfTotals cur = readTotals(currentPath);
+  if (!base.ok) {
+    std::fprintf(stderr, "perf_compare: cannot read totals from %s\n",
+                 baselinePath);
+    return 2;
+  }
+  if (!cur.ok) {
+    std::fprintf(stderr, "perf_compare: cannot read totals from %s\n",
+                 currentPath);
+    return 2;
+  }
+
+  int failures = 0;
+
+  if (base.events > 0.0) {
+    const double drift = (cur.events - base.events) / base.events;
+    const bool pass = std::fabs(drift) <= tolerance;
+    std::printf("PERF CHECK [%s]: events %.0f -> %.0f (%+.1f%%, tolerance "
+                "+/-%.0f%%)\n",
+                pass ? "PASS" : "FAIL", base.events, cur.events, drift * 100.0,
+                tolerance * 100.0);
+    if (!pass) ++failures;
+  }
+
+  if (checkWall && base.wallSeconds > 0.0) {
+    const double slowdown =
+        (cur.wallSeconds - base.wallSeconds) / base.wallSeconds;
+    const bool pass = slowdown <= tolerance;
+    std::printf("PERF CHECK [%s]: wall %.2fs -> %.2fs (%+.1f%%, tolerance "
+                "+%.0f%%)\n",
+                pass ? "PASS" : "FAIL", base.wallSeconds, cur.wallSeconds,
+                slowdown * 100.0, tolerance * 100.0);
+    if (!pass) ++failures;
+  } else if (!checkWall) {
+    std::printf("PERF CHECK [SKIP]: wall-clock (--no-wall: baseline from a "
+                "different machine)\n");
+  }
+
+  return failures == 0 ? 0 : 1;
+}
