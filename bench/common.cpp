@@ -16,6 +16,7 @@ namespace {
 std::string gTracePath;
 std::string gMetricsPath;
 std::string gPerfJsonPath;
+sim::SimCheckMode gSimCheckMode = sim::SimCheckMode::kAuto;
 int gStacksAttached = 0;
 
 struct PerfEntry {
@@ -40,7 +41,10 @@ std::string numbered(const std::string& path, int n) {
   if (n <= 1) return path;
   const auto slash = path.find_last_of('/');
   const auto dot = path.find_last_of('.');
-  const std::string tag = "." + std::to_string(n);
+  // Built with += rather than `"." + to_string(n)`: the rvalue-insert
+  // overload trips GCC 12's -Wrestrict false positive at -O3 under -Werror.
+  std::string tag(".");
+  tag += std::to_string(n);
   if (dot == std::string::npos || (slash != std::string::npos && dot < slash))
     return path + tag;
   return path.substr(0, dot) + tag + path.substr(dot);
@@ -75,9 +79,22 @@ void obsInit(int argc, char** argv) {
       gPerfJsonPath = argv[++i];
     } else if (std::strncmp(a, "--perf-json=", 12) == 0) {
       gPerfJsonPath = a + 12;
+    } else if (std::strcmp(a, "--simcheck") == 0) {
+      gSimCheckMode = sim::SimCheckMode::kOn;
+    } else if (std::strncmp(a, "--simcheck=", 11) == 0) {
+      const char* mode = a + 11;
+      if (std::strcmp(mode, "off") == 0) {
+        gSimCheckMode = sim::SimCheckMode::kOff;
+      } else if (std::strcmp(mode, "warn") == 0) {
+        gSimCheckMode = sim::SimCheckMode::kWarn;
+      } else {
+        gSimCheckMode = sim::SimCheckMode::kOn;
+      }
     }
   }
 }
+
+sim::SimCheckMode simCheckMode() { return gSimCheckMode; }
 
 void perfRecord(const std::string& label, double wallSeconds,
                 std::uint64_t events) {
@@ -185,6 +202,7 @@ iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
                                std::uint64_t seed) {
   iolib::SimStackOptions opt;
   opt.seed = seed;
+  opt.simcheck = gSimCheckMode;
   iolib::SimStack stack(np, opt);
   attachObs(stack);
   return runSim(stack, np, cfg);

@@ -16,6 +16,7 @@
 
 #include "analysis/ascii.hpp"
 #include "iolib/strategies.hpp"
+#include "simcore/simcheck.hpp"
 
 namespace bgckpt::bench {
 
@@ -44,6 +45,11 @@ std::string secs(double seconds);
 ///                      entry per simulated run (wall seconds, events
 ///                      processed, events/sec) plus totals. Feed two of
 ///                      these to tools/perf_compare to gate regressions.
+///   --simcheck[=MODE]  enable the runtime invariant checker on every
+///                      fresh-stack runSim (MODE: on [default], warn, off;
+///                      see simcore/simcheck.hpp). Harnesses that build
+///                      their own SimStack honour the SIM_CHECK environment
+///                      variable instead.
 /// Unknown arguments are ignored so harnesses stay forward-compatible.
 void obsInit(int argc, char** argv);
 
@@ -56,6 +62,9 @@ void perfRecord(const std::string& label, double wallSeconds,
 /// Write the --perf-json report, if requested. Returns false (and prints
 /// to stderr) if the file could not be written. Called by reportChecks.
 bool perfFlush();
+
+/// The --simcheck mode requested on the command line (kAuto when absent).
+sim::SimCheckMode simCheckMode();
 
 /// Attach the requested trace/metrics sinks to a stack. Called by the
 /// fresh-stack runSim overload; harnesses that build their own SimStack

@@ -1,17 +1,20 @@
 #include "analysis/checkpoint_interval.hpp"
 
-#include <cassert>
+#include "simcore/simcheck.hpp"
+
 #include <cmath>
 
 namespace bgckpt::analysis {
 
 double youngInterval(double checkpointSeconds, double mtbfSeconds) {
-  assert(checkpointSeconds > 0 && mtbfSeconds > 0);
+  SIM_CHECK(checkpointSeconds > 0 && mtbfSeconds > 0,
+            "checkpoint time and MTBF must be positive");
   return std::sqrt(2.0 * checkpointSeconds * mtbfSeconds);
 }
 
 double dalyInterval(double checkpointSeconds, double mtbfSeconds) {
-  assert(checkpointSeconds > 0 && mtbfSeconds > 0);
+  SIM_CHECK(checkpointSeconds > 0 && mtbfSeconds > 0,
+            "checkpoint time and MTBF must be positive");
   const double tc = checkpointSeconds;
   const double m = mtbfSeconds;
   if (tc >= 2.0 * m) return m;  // Daly's fallback regime
@@ -23,7 +26,8 @@ double dalyInterval(double checkpointSeconds, double mtbfSeconds) {
 
 double efficiency(double interval, double checkpointSeconds,
                   double restartSeconds, double mtbfSeconds) {
-  assert(interval > 0 && mtbfSeconds > 0);
+  SIM_CHECK(interval > 0 && mtbfSeconds > 0,
+            "interval and MTBF must be positive");
   // Daly's expected-runtime model: a segment of `interval` useful seconds
   // costs interval + Tc; failures arrive Poisson(1/M) and each costs the
   // restart plus (on average) half a segment of lost work.
@@ -36,7 +40,8 @@ double efficiency(double interval, double checkpointSeconds,
 }
 
 double systemMtbf(int nodes, double nodeMtbfSeconds) {
-  assert(nodes > 0 && nodeMtbfSeconds > 0);
+  SIM_CHECK(nodes > 0 && nodeMtbfSeconds > 0,
+            "node count and node MTBF must be positive");
   return nodeMtbfSeconds / nodes;
 }
 

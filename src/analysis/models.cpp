@@ -1,11 +1,12 @@
 #include "analysis/models.hpp"
 
-#include <cassert>
+#include "simcore/simcheck.hpp"
+
 
 namespace bgckpt::analysis {
 
 double productionImprovement(double ratioBase, double ratioNew, double nc) {
-  assert(nc > 0);
+  SIM_CHECK(nc > 0, "production model needs at least one checkpoint");
   return (ratioBase + nc) / (ratioNew + nc);
 }
 

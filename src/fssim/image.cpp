@@ -1,13 +1,15 @@
 #include "fssim/image.hpp"
 
+#include "simcore/simcheck.hpp"
+
 #include <algorithm>
-#include <cassert>
 
 namespace bgckpt::fs {
 
 void FileImage::recordWrite(ByteRange range, std::span<const std::byte> data) {
   if (range.length == 0) return;
-  assert(data.empty() || data.size() == range.length);
+  SIM_CHECK(data.empty() || data.size() == range.length,
+            "write payload size must match its byte range");
   ++writeCount_;
   bytesWritten_ += range.length;
   size_ = std::max(size_, range.end());

@@ -1,7 +1,6 @@
 #include "fssim/parallel_fs.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <stdexcept>
 
@@ -11,7 +10,8 @@ namespace detail {
 
 struct FileState {
   explicit FileState(sim::Scheduler& sched)
-      : tokenServer(sched, 1), metanode(sched, 1) {}
+      : tokenServer(sched, 1, "fs-token-server"),
+        metanode(sched, 1, "fs-metanode") {}
 
   std::string path;
   std::uint64_t fileId = 0;

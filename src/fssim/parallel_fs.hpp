@@ -127,7 +127,8 @@ class ParallelFsSim {
 
  private:
   struct Directory {
-    explicit Directory(sim::Scheduler& sched) : queue(sched, 1) {}
+    explicit Directory(sim::Scheduler& sched)
+        : queue(sched, 1, "fs-dir-queue") {}
     sim::Resource queue;
     std::uint64_t entries = 0;
   };

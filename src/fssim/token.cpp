@@ -1,7 +1,8 @@
 #include "fssim/token.hpp"
 
+#include "simcore/simcheck.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
 namespace bgckpt::fs {
@@ -17,8 +18,9 @@ RangeTokenManager::AcquireResult RangeTokenManager::acquire(int client,
 
 RangeTokenManager::AcquireResult RangeTokenManager::acquire(
     int client, BlockRange required, BlockRange desired) {
-  assert(required.hi > required.lo);
-  assert(desired.lo <= required.lo && desired.hi >= required.hi);
+  SIM_CHECK(required.hi > required.lo, "token range must be non-empty");
+  SIM_CHECK(desired.lo <= required.lo && desired.hi >= required.hi,
+            "desired token range must contain the required range");
   AcquireResult result;
   if (holds(client, required)) {
     result.alreadyHeld = true;

@@ -17,7 +17,7 @@ namespace bgckpt::hostio {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;  // srclint:allow(wall-clock): hostio measures real host I/O, not simulated time
 
 double seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();

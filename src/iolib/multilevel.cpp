@@ -80,7 +80,7 @@ MultilevelResult runMultilevelCheckpoint(SimStack& stack,
   ls.perRank.assign(static_cast<std::size_t>(np), 0.0);
   ls.ramDisk.reserve(static_cast<std::size_t>(stack.mach.numNodes()));
   for (int n = 0; n < stack.mach.numNodes(); ++n)
-    ls.ramDisk.push_back(std::make_unique<sim::Resource>(stack.sched, 1));
+    ls.ramDisk.push_back(std::make_unique<sim::Resource>(stack.sched, 1, "ram-disk"));
 
   stack.rt.spawnAll([&ls](Comm world) -> Task<> {
     co_await localCheckpointRank(world, ls);

@@ -14,10 +14,26 @@ sim::Scheduler::Config schedConfig(int numRanks, SimStackOptions& options) {
   return cfg;
 }
 
+std::unique_ptr<sim::SimChecker> makeChecker(sim::SimCheckMode mode) {
+  if (mode == sim::SimCheckMode::kAuto) mode = sim::simCheckModeFromEnv();
+  if (mode == sim::SimCheckMode::kAuto) {
+#ifdef NDEBUG
+    return nullptr;
+#else
+    mode = sim::SimCheckMode::kOn;
+#endif
+  }
+  if (mode == sim::SimCheckMode::kOff) return nullptr;
+  sim::SimChecker::Config cfg;
+  cfg.abortOnViolation = mode != sim::SimCheckMode::kWarn;
+  return std::make_unique<sim::SimChecker>(cfg);
+}
+
 }  // namespace
 
 SimStack::SimStack(int numRanks, SimStackOptions options)
     : sched(schedConfig(numRanks, options)),
+      checker(makeChecker(options.simcheck)),
       mach(machine::intrepidMachine(numRanks)),
       torus(sched, mach, &obs),
       coll(mach),
@@ -31,6 +47,28 @@ SimStack::SimStack(int numRanks, SimStackOptions options)
   // strategy code records each op exactly once.
   obs.addSink(std::make_shared<prof::IoProfileSink>(profile));
   obs.observeScheduler(sched);
+  if (checker) {
+    checker->attach(sched);
+    // Mirror violations into the metrics registry and the scheduler-layer
+    // counter stream so they land next to the run they corrupted in any
+    // exported trace. The stderr report still happens inside the checker.
+    auto& count = obs.metrics().counter("simcheck.violations");
+    checker->setReportFn([this, &count](const sim::SimChecker::Violation& v) {
+      count.add();
+      obs.counterSample(obs::Layer::kScheduler, "simcheck.violation", v.time,
+                        static_cast<double>(count.value()));
+    });
+  }
+}
+
+SimStack::~SimStack() {
+  // Finalize while every layer (and obs, which the report mirror captures)
+  // is still alive: frame-leak and hazard summaries attribute correctly,
+  // and the mirror cannot dangle during member teardown afterwards.
+  if (checker) {
+    checker->finalize();
+    checker->setReportFn({});
+  }
 }
 
 }  // namespace bgckpt::iolib

@@ -19,6 +19,7 @@
 #include "obs/obs.hpp"
 #include "profiling/profile.hpp"
 #include "simcore/scheduler.hpp"
+#include "simcore/simcheck.hpp"
 #include "storsim/fabric.hpp"
 
 namespace bgckpt::iolib {
@@ -31,13 +32,24 @@ struct SimStackOptions {
   /// capacity hint from numRanks; set `legacyQueue` to A/B the reference
   /// event queue (determinism tests).
   sim::Scheduler::Config scheduler;
+  /// Runtime invariant checking (simcore/simcheck.hpp). `kAuto` consults
+  /// the SIM_CHECK environment variable, then defaults to on in debug
+  /// builds and off in release. Benches expose this as `--simcheck`.
+  sim::SimCheckMode simcheck = sim::SimCheckMode::kAuto;
 };
 
 class SimStack {
  public:
   explicit SimStack(int numRanks, SimStackOptions options = {});
+  ~SimStack();
 
   sim::Scheduler sched;
+  /// Invariant checker, when enabled (see SimStackOptions::simcheck). Null
+  /// when disabled. Declared right after `sched` so it outlives every layer
+  /// below: Resources self-report token leaks at their own destructors
+  /// through sched.checker(), and the checker's finalize() reads the
+  /// scheduler clock and queue depth.
+  std::unique_ptr<sim::SimChecker> checker;
   machine::Machine mach;
   /// Observability hub for the whole stack. Every layer below reports into
   /// it; `profile` is fed from its kIo event stream via prof::IoProfileSink.

@@ -1,7 +1,6 @@
 #include "iolib/strategies.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <memory>
 #include <stdexcept>

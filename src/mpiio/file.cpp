@@ -1,7 +1,6 @@
 #include "mpiio/file.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace bgckpt::io {
 

@@ -1,7 +1,8 @@
 #include "mpisim/comm.hpp"
 
+#include "simcore/simcheck.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <stdexcept>
 #include <tuple>
@@ -179,7 +180,7 @@ sim::Scheduler& Comm::scheduler() const { return group_->sched; }
 
 sim::Task<Request> Comm::isend(int dst, int tag, Message msg) {
   auto& g = *group_;
-  assert(dst >= 0 && dst < g.size());
+  SIM_CHECK(dst >= 0 && dst < g.size(), "isend destination rank out of bounds");
   msg.tag = tag;
   msg.source = rank_;
   // The call itself: MPI software overhead plus a heavy-tailed jitter

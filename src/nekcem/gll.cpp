@@ -1,6 +1,5 @@
 #include "nekcem/gll.hpp"
 
-#include <cassert>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>

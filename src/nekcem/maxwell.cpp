@@ -1,7 +1,8 @@
 #include "nekcem/maxwell.hpp"
 
+#include "simcore/simcheck.hpp"
+
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstring>
 #include <numbers>
@@ -328,7 +329,8 @@ std::vector<std::byte> MaxwellSolver::serializeComponent(int field) const {
 void MaxwellSolver::deserializeComponent(int field,
                                          const std::vector<std::byte>& bytes) {
   auto& c = q_.comp.at(static_cast<std::size_t>(field));
-  assert(bytes.size() == c.size() * sizeof(double));
+  SIM_CHECK(bytes.size() == c.size() * sizeof(double),
+            "restart payload size does not match the field component");
   std::memcpy(c.data(), bytes.data(), bytes.size());
 }
 

@@ -6,7 +6,7 @@ IonForwarding::IonForwarding(sim::Scheduler& sched,
                              const machine::Machine& mach,
                              obs::Observability* obs)
     : sched_(sched), mach_(mach), obs_(obs) {
-  for (int p = 0; p < mach.numPsets(); ++p) uplink_.emplace_back(sched, 1);
+  for (int p = 0; p < mach.numPsets(); ++p) uplink_.emplace_back(sched, 1, "ion-uplink");
   if (obs_) {
     auto& m = obs_->metrics();
     mRequests_ = &m.counter("net.ion.requests");
@@ -18,9 +18,8 @@ IonForwarding::IonForwarding(sim::Scheduler& sched,
 
 sim::Task<> IonForwarding::forward(int rank, sim::Bytes bytes) {
   const auto pset = static_cast<std::size_t>(mach_.psetOfRank(rank));
-  co_await uplink_[pset].acquire();
   {
-    sim::ScopedTokens link(uplink_[pset], 1);
+    auto link = co_await sim::ScopedTokens::take(uplink_[pset], 1);
     const sim::Duration busy =
         mach_.io().forwardingOverhead +
         sim::transferTime(bytes, mach_.io().ionUplinkBandwidth);

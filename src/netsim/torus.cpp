@@ -16,8 +16,8 @@ TorusNetwork::TorusNetwork(sim::Scheduler& sched,
       // with its other cores; use half the node memory bandwidth.
       drainBandwidth_(mach.compute().memoryBandwidth / 2.0) {
   for (int n = 0; n < mach.numNodes(); ++n) {
-    injection_.emplace_back(sched, 1);
-    ejection_.emplace_back(sched, 1);
+    injection_.emplace_back(sched, 1, "torus-injection");
+    ejection_.emplace_back(sched, 1, "torus-ejection");
   }
   if (obs_) {
     auto& m = obs_->metrics();

@@ -13,28 +13,71 @@ FrameArena::~FrameArena() {
   for (char* slab : slabs_) ::operator delete(slab);
 }
 
+void FrameArena::beginAudit() {
+  auditing_ = true;
+  auditLive_.clear();
+  auditFreed_.clear();
+  auditDoubleFrees_ = 0;
+}
+
+void FrameArena::endAudit() {
+  auditing_ = false;
+  auditLive_.clear();
+  auditFreed_.clear();
+}
+
+void FrameArena::auditOnAllocate(const void* p) {
+  auditLive_.insert(p);
+  auditFreed_.erase(p);
+}
+
+void FrameArena::auditOnDeallocate(const void* p) noexcept {
+  if (auditLive_.erase(p) != 0) {
+    auditFreed_.insert(p);
+  } else if (auditFreed_.count(p) != 0) {
+    // Freed while already on the freed list and never reissued: double free.
+    ++auditDoubleFrees_;
+  }
+  // Unknown pointers (allocated before the audit began) free silently.
+}
+
 void* FrameArena::allocate(std::size_t bytes) {
   ++stats_.allocs;
   if (bytes == 0) bytes = 1;
+  if (BGCKPT_ARENA_PASSTHROUGH) {
+    void* p = ::operator new(bytes);
+    if (auditing_) auditOnAllocate(p);
+    return p;
+  }
   const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
   if (cls > kMaxClasses) {
     ++stats_.oversized;
-    return ::operator new(bytes);
+    void* p = ::operator new(bytes);
+    if (auditing_) auditOnAllocate(p);
+    return p;
   }
   stats_.liveBytes += cls * kGranularity;
   FreeBlock*& head = freeLists_[cls - 1];
+  void* p = nullptr;
   if (head != nullptr) {
     ++stats_.poolHits;
-    void* p = head;
+    p = head;
     head = head->next;
-    return p;
+  } else {
+    p = refill(cls);
   }
-  return refill(cls);
+  if (auditing_) auditOnAllocate(p);
+  return p;
 }
 
 void FrameArena::deallocate(void* p, std::size_t bytes) noexcept {
   if (p == nullptr) return;
+  if (auditing_) auditOnDeallocate(p);
   if (bytes == 0) bytes = 1;
+  if (BGCKPT_ARENA_PASSTHROUGH) {
+    ::operator delete(p);
+    return;
+  }
   const std::size_t cls = (bytes + kGranularity - 1) / kGranularity;
   if (cls > kMaxClasses) {
     ::operator delete(p);

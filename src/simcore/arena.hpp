@@ -18,7 +18,23 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <unordered_set>
 #include <vector>
+
+// Under AddressSanitizer the arena becomes a pass-through to the global
+// allocator: pooled recycling would hide use-after-free of coroutine frames
+// from ASan (a freed frame looks "live" because its block is on a free
+// list), which is exactly the bug class the sanitizer CI exists to catch.
+#if defined(__SANITIZE_ADDRESS__)
+#define BGCKPT_ARENA_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define BGCKPT_ARENA_PASSTHROUGH 1
+#endif
+#endif
+#ifndef BGCKPT_ARENA_PASSTHROUGH
+#define BGCKPT_ARENA_PASSTHROUGH 0
+#endif
 
 namespace bgckpt::sim {
 
@@ -40,6 +56,27 @@ class FrameArena {
 
   const Stats& stats() const { return stats_; }
 
+  // ------------------------------------------------------- audit (simcheck)
+  // When auditing, the arena tracks every frame pointer handed out so the
+  // SimChecker can detect leaked frames, double frees, and handles resumed
+  // after their frame was freed. Only allocations made while the audit is
+  // active are tracked; the normal hot path pays one predictable branch.
+  enum class PointerState { kUnknown, kLive, kFreed };
+
+  void beginAudit();
+  void endAudit();
+  bool auditing() const { return auditing_; }
+  /// Frames allocated during the audit and not yet freed.
+  std::size_t auditLiveCount() const { return auditLive_.size(); }
+  /// Deallocations of a pointer that was already freed (and not reissued).
+  std::uint64_t auditDoubleFrees() const { return auditDoubleFrees_; }
+  /// Classify a pointer (e.g. a coroutine handle address) seen in the audit.
+  PointerState pointerState(const void* p) const {
+    if (auditLive_.count(p) != 0) return PointerState::kLive;
+    if (auditFreed_.count(p) != 0) return PointerState::kFreed;
+    return PointerState::kUnknown;
+  }
+
   FrameArena() = default;
   FrameArena(const FrameArena&) = delete;
   FrameArena& operator=(const FrameArena&) = delete;
@@ -57,12 +94,19 @@ class FrameArena {
   };
 
   void* refill(std::size_t cls);
+  void auditOnAllocate(const void* p);
+  void auditOnDeallocate(const void* p) noexcept;
 
   FreeBlock* freeLists_[kMaxClasses] = {};
   std::vector<char*> slabs_;
   char* slabCursor_ = nullptr;
   std::size_t slabRemaining_ = 0;
   Stats stats_;
+
+  bool auditing_ = false;
+  std::unordered_set<const void*> auditLive_;
+  std::unordered_set<const void*> auditFreed_;
+  std::uint64_t auditDoubleFrees_ = 0;
 };
 
 namespace detail {

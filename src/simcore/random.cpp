@@ -1,6 +1,7 @@
 #include "simcore/random.hpp"
 
-#include <cassert>
+#include "simcore/simcheck.hpp"
+
 #include <cmath>
 #include <numbers>
 
@@ -41,14 +42,14 @@ double RngStream::uniform(double lo, double hi) {
 }
 
 std::uint64_t RngStream::uniformInt(std::uint64_t n) {
-  assert(n > 0);
+  SIM_CHECK(n > 0, "uniformInt needs a positive range");
   // Rejection-free multiply-shift; bias is negligible for n << 2^64.
   return static_cast<std::uint64_t>(
       static_cast<double>(n) * uniform01());
 }
 
 double RngStream::exponential(double mean) {
-  assert(mean > 0);
+  SIM_CHECK(mean > 0, "exponential needs a positive mean");
   double u;
   do {
     u = uniform01();
@@ -68,7 +69,7 @@ double RngStream::normal(double mean, double stddev) {
 }
 
 double RngStream::lognormal(double median, double sigmaLog) {
-  assert(median > 0);
+  SIM_CHECK(median > 0, "lognormal needs a positive median");
   return median * std::exp(normal(0.0, sigmaLog));
 }
 

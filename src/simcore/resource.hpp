@@ -5,41 +5,65 @@
 // granted, strictly in arrival order (no small-request bypass — this is the
 // queueing discipline of a storage server or lock manager). `Mutex` is the
 // single-token special case. `ScopedTokens` releases on destruction.
+//
+// When a SimChecker is installed on the scheduler (simcheck.hpp), every
+// release is balance-checked against the token total and each Resource
+// verifies at destruction that all tokens came back and no waiter is still
+// queued — the name passed at construction attributes the report.
 #pragma once
 
-#include <cassert>
 #include <coroutine>
 #include <cstdint>
 #include <deque>
+#include <source_location>
 
 #include "simcore/scheduler.hpp"
+#include "simcore/simcheck.hpp"
 
 namespace bgckpt::sim {
 
 class Resource {
  public:
-  Resource(Scheduler& sched, std::int64_t tokens)
-      : sched_(sched), available_(tokens), total_(tokens) {
-    assert(tokens > 0);
+  Resource(Scheduler& sched, std::int64_t tokens,
+           const char* name = "resource")
+      : sched_(sched), available_(tokens), total_(tokens), name_(name) {
+    SIM_CHECK(tokens > 0, "Resource needs a positive token count");
   }
 
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
 
+  ~Resource() {
+    if (SimChecker* check = sched_.checker())
+      check->onResourceTeardown(name_, available_, total_, waiters_.size());
+  }
+
   std::int64_t available() const { return available_; }
   std::int64_t total() const { return total_; }
+  const char* name() const { return name_; }
   std::size_t queueLength() const { return waiters_.size(); }
 
   /// Awaitable acquisition of `n` tokens (FIFO).
-  auto acquire(std::int64_t n = 1) {
-    assert(n > 0 && n <= total_);
+  [[nodiscard]] auto acquire(std::int64_t n = 1) {
+    SIM_CHECK(n > 0 && n <= total_,
+              "acquire amount must be within the resource total");
     return Awaiter{*this, n, {}};
   }
 
   /// Return `n` tokens and admit as many queued waiters as now fit.
-  void release(std::int64_t n = 1) {
+  void release(std::int64_t n = 1,
+               std::source_location loc = std::source_location::current()) {
     available_ += n;
-    assert(available_ <= total_);
+    if (available_ > total_) {
+      if (SimChecker* check = sched_.checker()) {
+        check->onResourceOverRelease(name_, available_, total_, loc);
+        available_ = total_;  // keep the pool sane in warn mode
+      } else {
+        detail::simCheckFail("available_ <= total_",
+                             "Resource over-release (double release?)",
+                             loc.file_name(), static_cast<int>(loc.line()));
+      }
+    }
     while (!waiters_.empty() && waiters_.front()->amount <= available_) {
       Waiter* w = waiters_.front();
       waiters_.pop_front();
@@ -77,12 +101,15 @@ class Resource {
   Scheduler& sched_;
   std::int64_t available_;
   std::int64_t total_;
+  const char* name_;
   std::deque<Waiter*> waiters_;
 };
 
 /// RAII helper: acquire then release on scope exit.
 ///   auto hold = co_await ScopedTokens::take(res, n); ... (released at `}`)
-class ScopedTokens {
+/// or, when the acquire was already awaited separately:
+///   ScopedTokens hold(res, n);
+class [[nodiscard]] ScopedTokens {
  public:
   ScopedTokens(Resource& res, std::int64_t n) : res_(&res), n_(n) {}
   ScopedTokens(ScopedTokens&& o) noexcept : res_(o.res_), n_(o.n_) {
@@ -101,6 +128,12 @@ class ScopedTokens {
   ScopedTokens& operator=(const ScopedTokens&) = delete;
   ~ScopedTokens() { releaseNow(); }
 
+  /// Awaitable factory: acquire `n` tokens, hand back the release guard.
+  [[nodiscard]] static Task<ScopedTokens> take(Resource& res, std::int64_t n) {
+    co_await res.acquire(n);
+    co_return ScopedTokens(res, n);
+  }
+
   void releaseNow() {
     if (res_) {
       res_->release(n_);
@@ -115,8 +148,9 @@ class ScopedTokens {
 
 class Mutex {
  public:
-  explicit Mutex(Scheduler& sched) : res_(sched, 1) {}
-  auto lock() { return res_.acquire(1); }
+  explicit Mutex(Scheduler& sched, const char* name = "mutex")
+      : res_(sched, 1, name) {}
+  [[nodiscard]] auto lock() { return res_.acquire(1); }
   void unlock() { res_.release(1); }
   Resource& resource() { return res_; }
 

@@ -1,12 +1,12 @@
 #include "simcore/scheduler.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "simcore/arena.hpp"
+#include "simcore/simcheck.hpp"
 
 namespace bgckpt::sim {
 
@@ -15,7 +15,7 @@ namespace bgckpt::sim {
 // that spawn() can enqueue its first resume through the event queue (spawn
 // order == first-run order); its frame self-destructs at final_suspend
 // (suspend_never), by which point the owned Task local has been destroyed.
-struct RootRunner {
+struct [[nodiscard]] RootRunner {
   struct promise_type : detail::FrameArenaAllocated {
     RootRunner get_return_object() {
       return RootRunner{
@@ -27,7 +27,8 @@ struct RootRunner {
     void unhandled_exception() noexcept { std::terminate(); }
   };
 
-  static RootRunner drive(Scheduler& sched, Task<> task, std::uint64_t id) {
+  [[nodiscard]] static RootRunner drive(Scheduler& sched, Task<> task,
+                                        std::uint64_t id) {
     try {
       co_await std::move(task);
       sched.noteRootDone(id);
@@ -119,14 +120,20 @@ void Scheduler::pushRing(std::uint32_t idx, SimTime t) {
   ++ringCount_;
 }
 
+void Scheduler::setChecker(SimChecker* check) {
+  check_ = check;
+  if (check_ != nullptr && meta_.size() < pool_.size())
+    meta_.resize(pool_.size());
+}
+
 void Scheduler::prepareActiveBucket() {
-  assert(ringCount_ > 0);
+  SIM_DCHECK(ringCount_ > 0, "prepareActiveBucket on an empty ring");
   while (drainPos_ >= buckets_[activeBucket_].size()) {
     buckets_[activeBucket_].clear();
     drainPos_ = 0;
     activeSorted_ = false;
     ++activeBucket_;
-    assert(activeBucket_ < kBuckets && "ringCount_ out of sync");
+    SIM_DCHECK(activeBucket_ < kBuckets, "ringCount_ out of sync");
   }
   if (!activeSorted_) {
     std::vector<FarEntry>& bucket = buckets_[activeBucket_];
@@ -136,7 +143,7 @@ void Scheduler::prepareActiveBucket() {
 }
 
 void Scheduler::refillFromFar() {
-  assert(!far_.empty());
+  SIM_DCHECK(!far_.empty(), "refill with no far-pool events");
   const SimTime t0 = farMin_;
   // Size the window from the observed spread so a typical bucket holds a
   // handful of events. The window spans half the spread, so even when the
@@ -195,7 +202,7 @@ void Scheduler::popNear() {
 }
 
 std::uint32_t Scheduler::popReady() {
-  assert(size_ > 0);
+  SIM_DCHECK(size_ > 0, "pop from an empty event queue");
   --size_;
   // Merge the three future tiers: sorted-bucket head, near heap, now FIFO.
   // (The far heap never competes: its times are >= windowEnd_, strictly
@@ -264,11 +271,15 @@ SimTime Scheduler::nextEventTime() {
 
 // -------------------------------------------------------------- dispatch --
 
-void Scheduler::scheduleResume(Duration delayTime, std::coroutine_handle<> h) {
+void Scheduler::scheduleResume(Duration delayTime, std::coroutine_handle<> h,
+                               std::source_location loc) {
   const SimTime t = now_ + delayTime;
   const std::uint64_t seq = nextSeq_++;
+  if (check_) check_->onSchedule(now_, t, loc);
   if (legacy_) {
-    legacyQueue_.push(LegacyEvent{t, seq, h, nullptr});
+    legacyQueue_.push(LegacyEvent{
+        t, seq, h, nullptr,
+        EventMeta{now_, loc.file_name(), loc.line()}});
     return;
   }
   const std::uint32_t idx = allocNode();
@@ -276,14 +287,22 @@ void Scheduler::scheduleResume(Duration delayTime, std::coroutine_handle<> h) {
   n.time = t;
   n.seq = seq;
   n.handle = h;
+  if (check_) {
+    if (meta_.size() < pool_.size()) meta_.resize(pool_.size());
+    meta_[idx] = EventMeta{now_, loc.file_name(), loc.line()};
+  }
   pushIndex(idx);
 }
 
-void Scheduler::scheduleCall(Duration delayTime, std::function<void()> fn) {
+void Scheduler::scheduleCall(Duration delayTime, std::function<void()> fn,
+                             std::source_location loc) {
   const SimTime t = now_ + delayTime;
   const std::uint64_t seq = nextSeq_++;
+  if (check_) check_->onSchedule(now_, t, loc);
   if (legacy_) {
-    legacyQueue_.push(LegacyEvent{t, seq, nullptr, std::move(fn)});
+    legacyQueue_.push(LegacyEvent{
+        t, seq, nullptr, std::move(fn),
+        EventMeta{now_, loc.file_name(), loc.line()}});
     return;
   }
   const std::uint32_t idx = allocNode();
@@ -292,6 +311,10 @@ void Scheduler::scheduleCall(Duration delayTime, std::function<void()> fn) {
   n.seq = seq;
   n.handle = nullptr;
   n.callback = std::move(fn);
+  if (check_) {
+    if (meta_.size() < pool_.size()) meta_.resize(pool_.size());
+    meta_[idx] = EventMeta{now_, loc.file_name(), loc.line()};
+  }
   pushIndex(idx);
 }
 
@@ -310,6 +333,13 @@ void Scheduler::step() {
   const std::coroutine_handle<> h = n.handle;
   std::function<void()> cb;
   if (!h) cb = std::move(n.callback);
+  if (check_) {
+    const EventMeta meta = idx < meta_.size() ? meta_[idx] : EventMeta{};
+    check_->onDispatch(now_, meta.scheduledAt, meta.file, meta.line);
+    if (h && FrameArena::instance().pointerState(h.address()) ==
+                 FrameArena::PointerState::kFreed)
+      check_->onStaleResume(now_, h.address());
+  }
   // Recycle the slot before dispatching so events scheduled from inside the
   // handler reuse it.
   freeNode(idx);
@@ -326,6 +356,12 @@ void Scheduler::stepLegacy() {
   LegacyEvent ev = legacyQueue_.top();
   legacyQueue_.pop();
   now_ = ev.time;
+  if (check_) {
+    check_->onDispatch(now_, ev.meta.scheduledAt, ev.meta.file, ev.meta.line);
+    if (ev.handle && FrameArena::instance().pointerState(ev.handle.address()) ==
+                         FrameArena::PointerState::kFreed)
+      check_->onStaleResume(now_, ev.handle.address());
+  }
   ++eventsProcessed_;
   if (ev.handle) {
     ev.handle.resume();

@@ -1,0 +1,234 @@
+#include "simcore/simcheck.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simcore/arena.hpp"
+#include "simcore/scheduler.hpp"
+
+namespace bgckpt::sim {
+
+namespace {
+
+const char* baseName(const char* path) {
+  if (path == nullptr) return "?";
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+void printViolation(const SimChecker::Violation& v) {
+  std::fprintf(stderr, "[simcheck] %s in %s at t=%.9g: %s",
+               SimChecker::kindName(v.kind), v.component.c_str(), v.time,
+               v.detail.c_str());
+  if (!v.file.empty())
+    std::fprintf(stderr, " [%s:%d]", v.file.c_str(), v.line);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+const char* SimChecker::kindName(Kind kind) {
+  switch (kind) {
+    case Kind::kTokenLeak: return "token-leak";
+    case Kind::kDoubleRelease: return "double-release";
+    case Kind::kPastEvent: return "past-event";
+    case Kind::kFrameLeak: return "frame-leak";
+    case Kind::kStaleResume: return "stale-resume";
+    case Kind::kTieOrderHazard: return "tie-order-hazard";
+  }
+  return "?";
+}
+
+SimChecker::SimChecker(Config config) : cfg_(config) {}
+
+SimChecker::~SimChecker() {
+  finalize();
+  detach();
+  if (auditStarted_) FrameArena::instance().endAudit();
+}
+
+void SimChecker::attach(Scheduler& sched) {
+  sched_ = &sched;
+  sched.setChecker(this);
+  if (!auditStarted_) {
+    FrameArena::instance().beginAudit();
+    auditStarted_ = true;
+  }
+}
+
+void SimChecker::detach() {
+  if (sched_ != nullptr) {
+    sched_->setChecker(nullptr);
+    sched_ = nullptr;
+  }
+}
+
+void SimChecker::setReportFn(std::function<void(const Violation&)> fn) {
+  reportFn_ = std::move(fn);
+}
+
+void SimChecker::report(Violation v, bool fatal) {
+  if (v.kind != Kind::kTieOrderHazard) ++hardViolations_;
+  violations_.push_back(v);
+  printViolation(violations_.back());
+  if (reportFn_) reportFn_(violations_.back());
+  if (fatal) {
+    std::fprintf(stderr,
+                 "[simcheck] aborting on %s (set SIM_CHECK=warn to continue "
+                 "past violations)\n",
+                 kindName(v.kind));
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+void SimChecker::onSchedule(SimTime now, SimTime eventTime,
+                            const std::source_location& loc) {
+  if (eventTime >= now) return;
+  Violation v;
+  v.kind = Kind::kPastEvent;
+  v.component = baseName(loc.file_name());
+  v.detail = "event scheduled at t=" + std::to_string(eventTime) +
+             ", before current time t=" + std::to_string(now) +
+             " (simulated time would run backwards)";
+  v.file = loc.file_name();
+  v.line = static_cast<int>(loc.line());
+  v.time = now;
+  report(std::move(v), cfg_.abortOnViolation);
+}
+
+void SimChecker::onDispatch(SimTime time, SimTime scheduledAt,
+                            const char* file, unsigned line) {
+  const DispatchRecord cur{time, scheduledAt, file, line};
+  const DispatchRecord prev = prev_;
+  const bool hadPrev = prevValid_;
+  prev_ = cur;
+  prevValid_ = true;
+  if (!hadPrev || file == nullptr || prev.file == nullptr) return;
+  // A hazard needs two dispatches at one timestamp where neither is a
+  // zero-delay wakeup (those are causally ordered behind their scheduler)
+  // and the scheduling sites differ — i.e. two independent delays collided
+  // and only insertion sequence orders them.
+  if (cur.time != prev.time) return;
+  if (cur.scheduledAt >= cur.time || prev.scheduledAt >= prev.time) return;
+  if (prev.line == cur.line && std::strcmp(prev.file, cur.file) == 0) return;
+  ++hazards_;
+  // Report each distinct (site, site) pair once, normalized by order.
+  std::string a = std::string(prev.file) + ":" + std::to_string(prev.line);
+  std::string b = std::string(cur.file) + ":" + std::to_string(cur.line);
+  if (b < a) std::swap(a, b);
+  std::string key = a + "|" + b;
+  if (std::find(hazardPairsSeen_.begin(), hazardPairsSeen_.end(), key) !=
+      hazardPairsSeen_.end())
+    return;
+  hazardPairsSeen_.push_back(std::move(key));
+  if (hazardPairsSeen_.size() > cfg_.maxHazardReports) return;
+  Violation v;
+  v.kind = Kind::kTieOrderHazard;
+  v.component = std::string(baseName(prev.file)) + "+" + baseName(cur.file);
+  v.detail = "dispatch order of " + a + " vs " + b + " at t=" +
+             std::to_string(time) +
+             " is pinned only by insertion sequence (both scheduled with a "
+             "positive delay landing on the same timestamp)";
+  v.file = cur.file;
+  v.line = static_cast<int>(cur.line);
+  v.time = time;
+  report(std::move(v), cfg_.hazardsAbort);
+}
+
+void SimChecker::onStaleResume(SimTime now, const void* frame) {
+  Violation v;
+  v.kind = Kind::kStaleResume;
+  v.component = "scheduler";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%p", frame);
+  v.detail = std::string("coroutine frame ") + buf +
+             " resumed after it was freed (double resume or dangling handle)";
+  v.time = now;
+  report(std::move(v), cfg_.abortOnViolation);
+}
+
+void SimChecker::onResourceOverRelease(const char* name,
+                                       std::int64_t available,
+                                       std::int64_t total,
+                                       const std::source_location& loc) {
+  Violation v;
+  v.kind = Kind::kDoubleRelease;
+  v.component = name != nullptr ? name : "resource";
+  v.detail = "release() pushed available tokens to " +
+             std::to_string(available) + " of total " + std::to_string(total) +
+             " (double release)";
+  v.file = loc.file_name();
+  v.line = static_cast<int>(loc.line());
+  v.time = sched_ != nullptr ? sched_->now() : 0.0;
+  report(std::move(v), cfg_.abortOnViolation);
+}
+
+void SimChecker::onResourceTeardown(const char* name, std::int64_t available,
+                                    std::int64_t total, std::size_t waiters) {
+  if (available == total && waiters == 0) return;
+  Violation v;
+  v.kind = Kind::kTokenLeak;
+  v.component = name != nullptr ? name : "resource";
+  v.detail = "destroyed with " + std::to_string(total - available) + " of " +
+             std::to_string(total) + " tokens still held and " +
+             std::to_string(waiters) + " waiter(s) queued";
+  v.time = sched_ != nullptr ? sched_->now() : 0.0;
+  report(std::move(v), cfg_.abortOnViolation);
+}
+
+std::uint64_t SimChecker::finalize() {
+  if (finalized_) return hardViolations_;
+  finalized_ = true;
+  FrameArena& arena = FrameArena::instance();
+  if (auditStarted_) {
+    if (const std::uint64_t doubles = arena.auditDoubleFrees(); doubles > 0) {
+      Violation v;
+      v.kind = Kind::kFrameLeak;
+      v.component = "arena";
+      v.detail = std::to_string(doubles) +
+                 " coroutine frame(s) deallocated twice";
+      v.time = sched_ != nullptr ? sched_->now() : 0.0;
+      report(std::move(v), cfg_.abortOnViolation);
+    }
+    // Pending queued events legitimately pin frames, so only an empty queue
+    // makes live frames a leak (a dropped task, or a root stuck forever on
+    // a wakeup that cannot come).
+    if (sched_ != nullptr && sched_->queueDepth() == 0) {
+      const std::size_t live = arena.auditLiveCount();
+      if (live > 0) {
+        Violation v;
+        v.kind = Kind::kFrameLeak;
+        v.component = "arena";
+        v.detail = std::to_string(live) +
+                   " coroutine frame(s) still live at teardown with an empty "
+                   "event queue (dropped or permanently blocked coroutine); " +
+                   std::to_string(sched_->liveRoots()) +
+                   " root task(s) unfinished";
+        v.time = sched_->now();
+        report(std::move(v), cfg_.abortOnViolation);
+      }
+    }
+  }
+  if (hazards_ > 0) {
+    std::fprintf(stderr,
+                 "[simcheck] %llu equal-timestamp tie-order hazard(s) across "
+                 "%zu distinct site pair(s)\n",
+                 static_cast<unsigned long long>(hazards_),
+                 hazardPairsSeen_.size());
+    std::fflush(stderr);
+  }
+  return hardViolations_;
+}
+
+SimCheckMode simCheckModeFromEnv() {
+  const char* env = std::getenv("SIM_CHECK");
+  if (env == nullptr || *env == '\0') return SimCheckMode::kAuto;
+  if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)
+    return SimCheckMode::kOff;
+  if (std::strcmp(env, "warn") == 0) return SimCheckMode::kWarn;
+  return SimCheckMode::kOn;
+}
+
+}  // namespace bgckpt::sim

@@ -1,0 +1,186 @@
+// Runtime invariant checking for the simulator.
+//
+// Two layers, both reporting component/file/line so a violation in a 64K-rank
+// run points at the scheduling or release site instead of a corrupted figure:
+//
+//  * `SIM_CHECK(cond, msg)` — an always-on assertion for load-bearing
+//    simulation-state invariants (token balances, rank bounds, payload
+//    sizes). Unlike `assert`, it survives Release builds, so a bench that
+//    would silently produce wrong figures aborts loudly instead.
+//    `SIM_DCHECK` is the debug-only variant for per-event hot-path
+//    invariants whose cost is not acceptable in Release (it still compiles
+//    in when `BGCKPT_SIMCHECK_FORCE` is defined).
+//
+//  * `SimChecker` — an opt-in validation layer (debug-default in
+//    iolib::SimStack, `--simcheck` in benches, `SIM_CHECK=1` in the
+//    environment) that watches a Scheduler and the coroutine FrameArena for
+//    whole classes of silent-corruption hazards:
+//      - resource-token leaks and double-releases (checked at every release
+//        and at each Resource teardown),
+//      - events scheduled in the past (time would run backwards),
+//      - coroutine frames leaked / never completed (arena audit), or
+//        resumed after their frame was freed,
+//      - equal-timestamp tie-order hazards: two dispatches at the same
+//        timestamp from different scheduling sites, where both were
+//        scheduled with a positive delay. Their relative order is pinned
+//        only by insertion sequence, so those are exactly the places where
+//        a future queue change would silently reorder the simulation and
+//        change figures. Hazards are advisory by default (counted and
+//        reported once per site pair); `Config::hazardsAbort` promotes them.
+//
+// Violations go through a pluggable report function (stderr by default; the
+// obs layer installs a trace-sink adapter) and abort the process when
+// `Config::abortOnViolation` is set.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace bgckpt::sim {
+
+class Scheduler;
+
+namespace detail {
+
+[[noreturn]] inline void simCheckFail(const char* expr, const char* msg,
+                                      const char* file, int line) {
+  std::fprintf(stderr, "SIM_CHECK failed: %s — %s [%s:%d]\n", expr, msg, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace bgckpt::sim
+
+/// Always-on invariant check: aborts with expression, message and site on
+/// failure, in every build type. Use for simulation-state invariants whose
+/// silent failure would corrupt results.
+#define SIM_CHECK(cond, msg)                                              \
+  (static_cast<bool>(cond)                                                \
+       ? static_cast<void>(0)                                             \
+       : ::bgckpt::sim::detail::simCheckFail(#cond, msg, __FILE__, __LINE__))
+
+/// Debug-only variant for hot-path invariants (per-event scheduler/queue
+/// internals). Compiled out under NDEBUG unless BGCKPT_SIMCHECK_FORCE.
+#if !defined(NDEBUG) || defined(BGCKPT_SIMCHECK_FORCE)
+#define SIM_DCHECK(cond, msg) SIM_CHECK(cond, msg)
+#else
+#define SIM_DCHECK(cond, msg) static_cast<void>(0)
+#endif
+
+namespace bgckpt::sim {
+
+class SimChecker {
+ public:
+  enum class Kind {
+    kTokenLeak,      // Resource destroyed with tokens outstanding / waiters
+    kDoubleRelease,  // release() pushed a Resource above its total
+    kPastEvent,      // event scheduled before the current simulated time
+    kFrameLeak,      // coroutine frames still live at teardown
+    kStaleResume,    // handle resumed after its frame was freed
+    kTieOrderHazard, // equal-timestamp dispatches from different sites
+  };
+  static const char* kindName(Kind kind);
+
+  struct Violation {
+    Kind kind;
+    std::string component;  // resource name, "scheduler", "arena", basename
+    std::string detail;
+    std::string file;  // attribution site ("" when not applicable)
+    int line = 0;
+    SimTime time = 0.0;
+  };
+
+  struct Config {
+    /// Abort the process on any hard violation (leak/double-release/past
+    /// event/frame leak/stale resume). Off lets tests inspect violations().
+    bool abortOnViolation = true;
+    /// Treat tie-order hazards as hard violations instead of advisories.
+    bool hazardsAbort = false;
+    /// Report at most this many distinct hazard site pairs (all are counted).
+    std::size_t maxHazardReports = 16;
+  };
+
+  SimChecker() : SimChecker(Config{}) {}
+  explicit SimChecker(Config config);
+  SimChecker(const SimChecker&) = delete;
+  SimChecker& operator=(const SimChecker&) = delete;
+  /// Detaches, runs finalize() if it has not run, and ends the arena audit.
+  ~SimChecker();
+
+  /// Install this checker on `sched` and begin the frame-arena audit.
+  void attach(Scheduler& sched);
+  /// Clear the scheduler's checker pointer (finalize() still works).
+  void detach();
+
+  /// Install an additional violation mirror (the stderr report always
+  /// happens first). iolib::SimStack uses this to reflect violations into
+  /// the obs metrics/trace stream. Pass an empty function to remove it.
+  void setReportFn(std::function<void(const Violation&)> fn);
+
+  /// Teardown-time checks (frame leaks, double frees) plus the hazard
+  /// summary. Idempotent. Returns the number of hard violations recorded
+  /// over the checker's lifetime so far.
+  std::uint64_t finalize();
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Hard (non-hazard) violations recorded.
+  std::uint64_t violationCount() const { return hardViolations_; }
+  /// Total equal-timestamp tie-order hazards observed (including deduped).
+  std::uint64_t hazardCount() const { return hazards_; }
+
+  // ------------------------------------------------------------------------
+  // Producer entry points (called by Scheduler / Resource / arena wiring).
+  void onSchedule(SimTime now, SimTime eventTime,
+                  const std::source_location& loc);
+  void onDispatch(SimTime time, SimTime scheduledAt, const char* file,
+                  unsigned line);
+  void onStaleResume(SimTime now, const void* frame);
+  void onResourceOverRelease(const char* name, std::int64_t available,
+                             std::int64_t total,
+                             const std::source_location& loc);
+  void onResourceTeardown(const char* name, std::int64_t available,
+                          std::int64_t total, std::size_t waiters);
+
+ private:
+  void report(Violation v, bool fatal);
+
+  Config cfg_;
+  Scheduler* sched_ = nullptr;
+  std::vector<Violation> violations_;
+  std::uint64_t hardViolations_ = 0;
+  std::uint64_t hazards_ = 0;
+  std::vector<std::string> hazardPairsSeen_;  // normalized "a:1|b:2" keys
+  bool finalized_ = false;
+  bool auditStarted_ = false;
+
+  struct DispatchRecord {
+    SimTime time = 0.0;
+    SimTime scheduledAt = 0.0;
+    const char* file = nullptr;
+    unsigned line = 0;
+  };
+  DispatchRecord prev_;
+  bool prevValid_ = false;
+
+  std::function<void(const Violation&)> reportFn_;
+};
+
+/// Parse the SIM_CHECK environment variable (used by iolib::SimStack):
+///   unset     -> enabled in debug builds (abort mode), off in release
+///   0|off     -> disabled everywhere
+///   1|on|abort-> enabled everywhere, abort on violation
+///   warn      -> enabled everywhere, report but never abort
+enum class SimCheckMode { kAuto, kOff, kOn, kWarn };
+SimCheckMode simCheckModeFromEnv();
+
+}  // namespace bgckpt::sim

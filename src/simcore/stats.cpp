@@ -1,6 +1,7 @@
 #include "simcore/stats.hpp"
 
-#include <cassert>
+#include "simcore/simcheck.hpp"
+
 #include <cmath>
 #include <numeric>
 
@@ -9,8 +10,8 @@ namespace bgckpt::sim {
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
 double Sample::quantile(double q) const {
-  assert(!values_.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  SIM_CHECK(!values_.empty(), "quantile of an empty series");
+  SIM_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
     sorted_ = true;
@@ -29,7 +30,7 @@ double Sample::mean() const {
 
 FixedHistogram::FixedHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  SIM_CHECK(hi > lo && bins > 0, "histogram needs a non-empty range and bins");
 }
 
 void FixedHistogram::add(double x) {

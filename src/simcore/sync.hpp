@@ -2,12 +2,12 @@
 // cyclic barriers, and wait groups (fork/join counters).
 #pragma once
 
-#include <cassert>
 #include <coroutine>
 #include <cstddef>
 #include <vector>
 
 #include "simcore/scheduler.hpp"
+#include "simcore/simcheck.hpp"
 
 namespace bgckpt::sim {
 
@@ -28,7 +28,7 @@ class Gate {
     waiters_.clear();
   }
 
-  auto wait() {
+  [[nodiscard]] auto wait() {
     struct Awaiter {
       Gate& gate;
       bool await_ready() const { return gate.fired_; }
@@ -52,7 +52,7 @@ class Barrier {
  public:
   Barrier(Scheduler& sched, std::size_t parties)
       : sched_(sched), parties_(parties) {
-    assert(parties > 0);
+    SIM_CHECK(parties > 0, "Barrier needs at least one party");
   }
   Barrier(const Barrier&) = delete;
   Barrier& operator=(const Barrier&) = delete;
@@ -60,7 +60,7 @@ class Barrier {
   std::size_t parties() const { return parties_; }
   std::size_t arrived() const { return waiters_.size(); }
 
-  auto arriveAndWait() {
+  [[nodiscard]] auto arriveAndWait() {
     struct Awaiter {
       Barrier& bar;
       bool await_ready() {
@@ -98,16 +98,16 @@ class WaitGroup {
   explicit WaitGroup(Scheduler& sched) : gate_(sched) {}
 
   void add(std::size_t n = 1) {
-    assert(!gate_.fired() && "WaitGroup reused after completion");
+    SIM_CHECK(!gate_.fired(), "WaitGroup reused after completion");
     count_ += n;
   }
 
   void done() {
-    assert(count_ > 0);
+    SIM_CHECK(count_ > 0, "WaitGroup::done without a matching add");
     if (--count_ == 0) gate_.fire();
   }
 
-  auto wait() {
+  [[nodiscard]] auto wait() {
     if (count_ == 0) gate_.fire();
     return gate_.wait();
   }

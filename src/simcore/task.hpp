@@ -9,13 +9,13 @@
 // `Scheduler::spawn`, which drives them and reports stray exceptions.
 #pragma once
 
-#include <cassert>
 #include <coroutine>
 #include <exception>
 #include <utility>
 #include <variant>
 
 #include "simcore/arena.hpp"
+#include "simcore/simcheck.hpp"
 
 namespace bgckpt::sim {
 
@@ -83,7 +83,7 @@ class [[nodiscard]] Task {
 
   bool await_ready() const noexcept { return false; }
   std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
-    assert(handle_ && "awaiting a moved-from Task");
+    SIM_DCHECK(handle_, "awaiting a moved-from Task");
     handle_.promise().continuation = awaiter;
     return handle_;
   }
@@ -133,7 +133,7 @@ class [[nodiscard]] Task<void> {
 
   bool await_ready() const noexcept { return false; }
   std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
-    assert(handle_ && "awaiting a moved-from Task");
+    SIM_DCHECK(handle_, "awaiting a moved-from Task");
     handle_.promise().continuation = awaiter;
     return handle_;
   }

@@ -14,8 +14,8 @@ StorageFabric::StorageFabric(sim::Scheduler& sched,
       rng_(seed, "storage-fabric"),
       noise_(noise) {
   for (int s = 0; s < numServers(); ++s)
-    servers_.emplace_back(sched, serverConcurrency);
-  for (int a = 0; a < numArrays(); ++a) arrayPorts_.emplace_back(sched, 1);
+    servers_.emplace_back(sched, serverConcurrency, "fs-server");
+  for (int a = 0; a < numArrays(); ++a) arrayPorts_.emplace_back(sched, 1, "ddn-array-port");
   if (obs_) {
     auto& m = obs_->metrics();
     mRequests_ = &m.counter("stor.requests");
@@ -57,9 +57,8 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
   auto& arrayPort = arrayPorts_[static_cast<std::size_t>(arrayOfServer(serverId))];
 
   // Stage 1: the file server ingests and processes the request.
-  co_await server.acquire();
   {
-    sim::ScopedTokens hold(server, 1);
+    auto hold = co_await sim::ScopedTokens::take(server, 1);
     const double factor = noiseFactor();
     const sim::Duration busy =
         mach_.io().serverRequestOverhead * factor +
@@ -70,9 +69,8 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
 
   // Stage 2: the backing DDN array commits the data. Eight servers share
   // one array, so this is where cross-server interference appears.
-  co_await arrayPort.acquire();
   {
-    sim::ScopedTokens hold(arrayPort, 1);
+    auto hold = co_await sim::ScopedTokens::take(arrayPort, 1);
     const sim::Duration busy =
         seekPenalty(stream) + sim::transferTime(bytes, arrayRate);
     co_await sched_.delay(busy);

@@ -144,8 +144,16 @@ TEST(ParallelFs, GpfsSlowerThanPvfsForSharedExtendingFile) {
     auto writer = [](Stack& s, int rank, int nWrites) -> Task<> {
       // Rank 0 creates; others join shortly after the create has landed.
       if (rank != 0) co_await s.sched.delay(5e-3);
-      auto fh = rank == 0 ? co_await s.fs.create(0, "f")
-                          : co_await s.fs.open(rank, "f");
+      // Deliberately not a ternary: co_await inside a conditional
+      // expression trips a GCC coroutine-temporary lifetime bug (the
+      // awaited result is destroyed before the copy-out; ASan flags a
+      // use-after-free on the handle). srclint's ternary-co-await rule
+      // keeps the pattern out of the tree.
+      FileHandle fh;
+      if (rank == 0)
+        fh = co_await s.fs.create(0, "f");
+      else
+        fh = co_await s.fs.open(rank, "f");
       for (int i = 0; i < nWrites; ++i) {
         const auto idx = static_cast<std::uint64_t>(i * 2 + rank);
         co_await s.fs.write(rank, fh, idx * MiB, MiB);

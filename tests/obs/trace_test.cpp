@@ -32,14 +32,16 @@ TEST(NullSink, WantsNoLayers) {
 }
 
 TEST(Observability, MaskGatesEmission) {
+  // Declared before obs: ChromeTraceSink writes the closing "]" to the
+  // stream from its destructor, so the stream must outlive the sink.
+  std::ostringstream chrome;
   Observability obs;
   EXPECT_FALSE(obs.tracing(Layer::kIo));  // no sinks at all
 
   obs.addSink(std::make_shared<NullSink>());
   EXPECT_FALSE(obs.tracing(Layer::kIo));  // NullSink adds nothing
 
-  auto chrome = std::make_shared<std::ostringstream>();
-  obs.addSink(std::make_shared<ChromeTraceSink>(*chrome));
+  obs.addSink(std::make_shared<ChromeTraceSink>(chrome));
   for (int l = 0; l < kNumLayers; ++l)
     EXPECT_TRUE(obs.tracing(static_cast<Layer>(l)));
 }

@@ -85,7 +85,7 @@ TEST(Scheduler, DelayAdvancesSimulatedTime) {
 
 TEST(Scheduler, NegativeDelayThrows) {
   Scheduler sched;
-  EXPECT_THROW(sched.delay(-1.0), SimulationError);
+  EXPECT_THROW(static_cast<void>(sched.delay(-1.0)), SimulationError);
 }
 
 TEST(Scheduler, ManyProcessesInterleaveDeterministically) {
@@ -266,6 +266,11 @@ TEST(Scheduler, ReserveDoesNotChangeBehaviour) {
 }
 
 TEST(FrameArena, CoroutineFramesHitThePool) {
+#if BGCKPT_ARENA_PASSTHROUGH
+  // Under ASan the arena forwards to plain operator new so the sanitizer
+  // sees every frame; nothing is pooled and poolHits stays zero.
+  GTEST_SKIP() << "arena passthrough active (sanitizer build): no pooling";
+#endif
   const auto& stats = FrameArena::instance().stats();
   const std::uint64_t allocs0 = stats.allocs;
   const std::uint64_t hits0 = stats.poolHits;

@@ -1,0 +1,244 @@
+// Each seeded-violation test plants one class of simulation-state corruption
+// and verifies the SimChecker catches it and attributes it to this file.
+// Death tests verify the abort paths (the default in debug builds and under
+// SIM_CHECK=1) fire before the corrupted state can spread.
+#include "simcore/simcheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/arena.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/scheduler.hpp"
+#include "simcore/sync.hpp"
+
+#include <algorithm>
+#include <coroutine>
+#include <string>
+
+namespace bgckpt::sim {
+namespace {
+
+SimChecker::Config warnConfig() {
+  SimChecker::Config cfg;
+  cfg.abortOnViolation = false;  // record violations for inspection
+  return cfg;
+}
+
+bool hasKind(const SimChecker& check, SimChecker::Kind kind) {
+  const auto& vs = check.violations();
+  return std::any_of(vs.begin(), vs.end(),
+                     [kind](const auto& v) { return v.kind == kind; });
+}
+
+const SimChecker::Violation& firstOfKind(const SimChecker& check,
+                                         SimChecker::Kind kind) {
+  for (const auto& v : check.violations())
+    if (v.kind == kind) return v;
+  throw std::logic_error("no violation of requested kind");
+}
+
+TEST(SimCheck, CleanRunReportsNothing) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  Resource res(sched, 2, "clean-pool");
+  auto body = [](Resource& r) -> Task<> {
+    auto hold = co_await ScopedTokens::take(r, 1);
+  };
+  sched.spawn(body(res));
+  sched.run();
+  EXPECT_EQ(check.finalize(), 0u);
+  EXPECT_EQ(check.violationCount(), 0u);
+  EXPECT_TRUE(check.violations().empty());
+}
+
+TEST(SimCheck, TokenLeakCaughtAtResourceTeardown) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  {
+    Resource res(sched, 2, "leaky-pool");
+    // Acquire without a matching release: one token never comes back.
+    auto body = [](Resource& r) -> Task<> { co_await r.acquire(1); };
+    sched.spawn(body(res));
+    sched.run();
+  }
+  ASSERT_TRUE(hasKind(check, SimChecker::Kind::kTokenLeak));
+  const auto& v = firstOfKind(check, SimChecker::Kind::kTokenLeak);
+  EXPECT_EQ(v.component, "leaky-pool");
+  EXPECT_NE(v.detail.find("1 of 2 tokens"), std::string::npos) << v.detail;
+}
+
+TEST(SimCheck, DoubleReleaseCaughtAndAttributedToCallSite) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  Resource res(sched, 1, "over-released");
+  res.release();  // never acquired: pushes available above total
+  ASSERT_TRUE(hasKind(check, SimChecker::Kind::kDoubleRelease));
+  const auto& v = firstOfKind(check, SimChecker::Kind::kDoubleRelease);
+  EXPECT_EQ(v.component, "over-released");
+  EXPECT_NE(v.file.find("simcheck_test.cpp"), std::string::npos) << v.file;
+  EXPECT_GT(v.line, 0);
+  // Warn mode clamps the pool so the sim can continue deterministically.
+  EXPECT_EQ(res.available(), res.total());
+}
+
+TEST(SimCheck, EventScheduledInThePastCaughtAndAttributed) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  sched.scheduleCall(5.0, [&sched] {
+    sched.scheduleCall(-1.0, [] {});  // lands at t=4, before now=5
+  });
+  sched.run();
+  ASSERT_TRUE(hasKind(check, SimChecker::Kind::kPastEvent));
+  const auto& v = firstOfKind(check, SimChecker::Kind::kPastEvent);
+  EXPECT_NE(v.file.find("simcheck_test.cpp"), std::string::npos) << v.file;
+  EXPECT_DOUBLE_EQ(v.time, 5.0);
+}
+
+TEST(SimCheck, DroppedCoroutineCaughtAsFrameLeak) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  Gate gate(sched);  // deliberately never fired
+  auto body = [](Gate& g) -> Task<> { co_await g.wait(); };
+  sched.spawn(body(gate));
+  sched.run();  // queue drains; the root is stuck on the gate forever
+  EXPECT_GT(check.finalize(), 0u);
+  ASSERT_TRUE(hasKind(check, SimChecker::Kind::kFrameLeak));
+  const auto& v = firstOfKind(check, SimChecker::Kind::kFrameLeak);
+  EXPECT_NE(v.detail.find("1 root task(s) unfinished"), std::string::npos)
+      << v.detail;
+}
+
+TEST(SimCheck, TieOrderHazardReportedForCollidingDelays) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  // Two independent positive delays land on t=1.0 from different source
+  // lines; only insertion sequence orders their wakeups.
+  auto first = [](Scheduler& s) -> Task<> { co_await s.delay(1.0); };
+  auto second = [](Scheduler& s) -> Task<> {
+    co_await s.delay(1.0);
+  };
+  sched.spawn(first(sched));
+  sched.spawn(second(sched));
+  sched.run();
+  EXPECT_GE(check.hazardCount(), 1u);
+  ASSERT_TRUE(hasKind(check, SimChecker::Kind::kTieOrderHazard));
+  const auto& v = firstOfKind(check, SimChecker::Kind::kTieOrderHazard);
+  EXPECT_NE(v.detail.find("simcheck_test.cpp"), std::string::npos) << v.detail;
+  // Hazards are advisory: they never count as hard violations.
+  EXPECT_EQ(check.violationCount(), 0u);
+  EXPECT_EQ(check.finalize(), 0u);
+}
+
+TEST(SimCheck, ZeroDelayWakeupsAreNotHazards) {
+  SimChecker check(warnConfig());
+  Scheduler sched;
+  check.attach(sched);
+  // Two waiters woken by one fire() run at the same timestamp, but both
+  // wakeups were scheduled *at* that timestamp (causally ordered behind the
+  // gate), so they are not reorder hazards.
+  Gate gate(sched);
+  auto body = [](Gate& g) -> Task<> { co_await g.wait(); };
+  sched.spawn(body(gate));
+  sched.spawn(body(gate));
+  sched.scheduleCall(1.0, [&gate] { gate.fire(); });
+  sched.run();
+  EXPECT_EQ(sched.liveRoots(), 0u);
+  EXPECT_EQ(check.hazardCount(), 0u);
+}
+
+TEST(SimCheck, ModeParsesFromEnvironment) {
+  EXPECT_EQ(setenv("SIM_CHECK", "off", 1), 0);
+  EXPECT_EQ(simCheckModeFromEnv(), SimCheckMode::kOff);
+  EXPECT_EQ(setenv("SIM_CHECK", "warn", 1), 0);
+  EXPECT_EQ(simCheckModeFromEnv(), SimCheckMode::kWarn);
+  EXPECT_EQ(setenv("SIM_CHECK", "1", 1), 0);
+  EXPECT_EQ(simCheckModeFromEnv(), SimCheckMode::kOn);
+  EXPECT_EQ(unsetenv("SIM_CHECK"), 0);
+  EXPECT_EQ(simCheckModeFromEnv(), SimCheckMode::kAuto);
+}
+
+TEST(FrameArenaAudit, TracksLiveAndFreedPointers) {
+  FrameArena& arena = FrameArena::instance();
+  arena.beginAudit();
+  void* p = arena.allocate(64);
+  EXPECT_EQ(arena.pointerState(p), FrameArena::PointerState::kLive);
+  EXPECT_EQ(arena.auditLiveCount(), 1u);
+  arena.deallocate(p, 64);
+  EXPECT_EQ(arena.pointerState(p), FrameArena::PointerState::kFreed);
+  EXPECT_EQ(arena.auditLiveCount(), 0u);
+  EXPECT_EQ(arena.auditDoubleFrees(), 0u);
+  arena.endAudit();
+  EXPECT_EQ(arena.pointerState(p), FrameArena::PointerState::kUnknown);
+}
+
+// --- abort paths ----------------------------------------------------------
+
+using SimCheckDeathTest = ::testing::Test;
+
+TEST(SimCheckDeathTest, SimCheckMacroAbortsWithSite) {
+  EXPECT_DEATH(SIM_CHECK(1 + 1 == 3, "arithmetic is broken"),
+               "SIM_CHECK failed: 1 \\+ 1 == 3");
+}
+
+TEST(SimCheckDeathTest, OverReleaseWithoutCheckerStillAborts) {
+  // No SimChecker installed: the Resource's own balance check must not
+  // depend on the opt-in layer being active.
+  EXPECT_DEATH(
+      {
+        Scheduler sched;
+        Resource res(sched, 1, "bare");
+        res.release();
+      },
+      "over-release");
+}
+
+TEST(SimCheckDeathTest, CheckerAbortsOnPastEventByDefault) {
+  EXPECT_DEATH(
+      {
+        SimChecker check;  // default config: abortOnViolation = true
+        Scheduler sched;
+        check.attach(sched);
+        sched.scheduleCall(5.0, [&sched] { sched.scheduleCall(-1.0, [] {}); });
+        sched.run();
+      },
+      "aborting on past-event");
+}
+
+TEST(SimCheckDeathTest, ResumeAfterFrameFreedAborts) {
+  EXPECT_DEATH(
+      {
+        SimChecker check;
+        Scheduler sched;
+        check.attach(sched);
+        // Steal the root coroutine's handle, let it run to completion (the
+        // frame is freed), then schedule the dangling handle: the checker
+        // must abort before the scheduler resumes into freed memory.
+        struct HandleGrabber {
+          std::coroutine_handle<>& out;
+          bool await_ready() const noexcept { return false; }
+          bool await_suspend(std::coroutine_handle<> me) noexcept {
+            out = me;
+            return false;  // do not actually suspend
+          }
+          void await_resume() const noexcept {}
+        };
+        std::coroutine_handle<> stolen;
+        auto body = [](std::coroutine_handle<>& out) -> Task<> {
+          co_await HandleGrabber{out};
+        };
+        sched.spawn(body(stolen));
+        sched.run();
+        sched.scheduleResume(0.0, stolen);
+        sched.run();
+      },
+      "stale-resume");
+}
+
+}  // namespace
+}  // namespace bgckpt::sim

@@ -33,6 +33,13 @@ TEST(Task, ReturnsMoveOnlyValue) {
 }
 
 TEST(Task, DeepChainDoesNotOverflowStack) {
+#if !defined(__OPTIMIZE__)
+  // GCC at -O0 does not turn symmetric transfer into a tail call, so each
+  // resume in the chain consumes native stack and 100k awaits overflow it.
+  // The property under test (flat resumption) only holds in optimized
+  // builds; Debug/sanitizer configurations skip it.
+  GTEST_SKIP() << "symmetric transfer is not a tail call at -O0";
+#endif
   Scheduler sched;
   // Symmetric transfer keeps resumption flat; a recursive chain of 100k
   // awaits must complete without exhausting the native stack.

@@ -1,0 +1,365 @@
+// srclint — project-specific source lint for the simulator tree.
+//
+// Token-level checks that clang-tidy cannot express because they encode
+// *this* project's invariants:
+//
+//   raw-new         `new`/`delete` expressions inside src/simcore/. Coroutine
+//                   frames and event nodes must go through the FrameArena /
+//                   event pool; a stray heap allocation on the per-event path
+//                   is a silent perf regression. (`operator new` plumbing —
+//                   the arena's slab allocator and the promise-type hooks —
+//                   is exempt: it *is* the designated allocator.)
+//   priority-queue  std::priority_queue anywhere but src/simcore/scheduler.cpp.
+//                   The tiered ladder queue is the production dispatch
+//                   structure; the legacy heap exists only as the A/B
+//                   reference inside the scheduler.
+//   assert          release-invisible assert() in src/. Simulation-state
+//                   invariants must use SIM_CHECK/SIM_DCHECK
+//                   (simcore/simcheck.hpp) so Release benches abort loudly
+//                   instead of publishing corrupted figures. Also flags
+//                   including <cassert>/<assert.h> from src/.
+//   wall-clock      wall-clock and libc randomness identifiers in src/.
+//                   Simulated time comes from the Scheduler and randomness
+//                   from the seeded SplitMix/xoshiro RNG; host clocks or
+//                   rand() make runs irreproducible.
+//   ternary-co-await  `co_await` as an operand of ?: (or after a range-for
+//                   colon). GCC's coroutine lowering destroys the awaited
+//                   temporary before the conditional's result is copied out
+//                   — ASan sees a use-after-free. Spell it as if/else.
+//   include-hygiene headers must start with #pragma once; no "../" relative
+//                   includes; no <bits/...> internals.
+//
+// Escape hatch: append `// srclint:allow(rule): <justification>` to the
+// offending line, or put it on a comment line directly above (it then covers
+// the next line that contains code). The justification text is mandatory — a
+// bare allow is itself a finding, so every suppression documents why it is
+// safe.
+//
+// Usage: srclint <dir-or-file>...   (exit 0 = clean, 1 = findings, 2 = usage)
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> gFindings;
+
+void report(const std::string& file, std::size_t line, const std::string& rule,
+            const std::string& message) {
+  gFindings.push_back(Finding{file, line, rule, message});
+}
+
+/// Strip comments and string/char literals from one line, tracking block
+/// comments across lines. Stripped spans become spaces so column positions
+/// (and identifier boundaries) survive.
+std::string stripCode(const std::string& line, bool& inBlockComment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (inBlockComment) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        inBlockComment = false;
+        out.append("  ");
+        ++i;
+      } else {
+        out.push_back(' ');
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      break;  // line comment: rest of the line is commentary
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      inBlockComment = true;
+      out.append("  ");
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(' ');
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out.append("  ");
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        out.push_back(' ');
+        ++i;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// All identifiers in a stripped line, with their start offsets.
+std::vector<std::pair<std::size_t, std::string>> identifiers(
+    const std::string& code) {
+  std::vector<std::pair<std::size_t, std::string>> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    if (isIdentChar(code[i]) &&
+        std::isdigit(static_cast<unsigned char>(code[i])) == 0) {
+      const std::size_t start = i;
+      while (i < code.size() && isIdentChar(code[i])) ++i;
+      out.emplace_back(start, code.substr(start, i - start));
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Last non-space character before `pos`, or '\0'.
+char lastNonSpaceBefore(const std::string& code, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (code[pos] != ' ' && code[pos] != '\t') return code[pos];
+  }
+  return '\0';
+}
+
+/// True when the identifier at `pos` is preceded by `operator` (with an
+/// optional `::` scope), i.e. allocator plumbing rather than a raw
+/// new/delete expression.
+bool precededByOperator(const std::string& code, std::size_t pos) {
+  std::size_t end = pos;
+  while (end > 0 && (code[end - 1] == ' ' || code[end - 1] == '\t')) --end;
+  const std::string kw = "operator";
+  if (end >= kw.size() && code.compare(end - kw.size(), kw.size(), kw) == 0)
+    return true;
+  return false;
+}
+
+/// Parse `srclint:allow(rule): justification` suppressions on a raw line.
+/// Returns the set of allowed rules; a missing justification is a finding.
+std::set<std::string> parseAllows(const std::string& file, std::size_t lineNo,
+                                  const std::string& rawLine) {
+  std::set<std::string> allowed;
+  const std::string marker = "srclint:allow(";
+  std::size_t pos = 0;
+  while ((pos = rawLine.find(marker, pos)) != std::string::npos) {
+    const std::size_t open = pos + marker.size();
+    const std::size_t close = rawLine.find(')', open);
+    if (close == std::string::npos) break;
+    const std::string rule = rawLine.substr(open, close - open);
+    std::size_t after = close + 1;
+    bool justified = false;
+    if (after < rawLine.size() && rawLine[after] == ':') {
+      ++after;
+      while (after < rawLine.size()) {
+        if (std::isspace(static_cast<unsigned char>(rawLine[after])) == 0) {
+          justified = true;
+          break;
+        }
+        ++after;
+      }
+    }
+    if (justified) {
+      allowed.insert(rule);
+    } else {
+      report(file, lineNo, "allow-needs-justification",
+             "srclint:allow(" + rule +
+                 ") must carry a justification: `// srclint:allow(" + rule +
+                 "): why this is safe`");
+    }
+    pos = close;
+  }
+  return allowed;
+}
+
+const std::set<std::string> kWallClockIdents = {
+    "rand",          "srand",         "random_device", "steady_clock",
+    "system_clock",  "high_resolution_clock",          "gettimeofday",
+    "clock_gettime", "localtime",     "gmtime",        "mktime",
+    "timespec_get",
+};
+
+struct FileScope {
+  bool inSrc = false;      // under src/
+  bool inSimcore = false;  // under src/simcore/
+  bool isSchedulerCpp = false;
+  bool isHeader = false;
+};
+
+void lintFile(const fs::path& path) {
+  const std::string name = path.generic_string();
+  FileScope scope;
+  scope.inSrc = name.find("src/") != std::string::npos;
+  scope.inSimcore = name.find("src/simcore/") != std::string::npos;
+  scope.isSchedulerCpp = name.find("simcore/scheduler.cpp") != std::string::npos;
+  scope.isHeader = path.extension() == ".hpp" || path.extension() == ".h";
+
+  std::ifstream in(path);
+  if (!in) {
+    report(name, 0, "io", "cannot open file");
+    return;
+  }
+  std::string rawLine;
+  bool inBlockComment = false;
+  bool sawPragmaOnce = false;
+  std::size_t lineNo = 0;
+  std::set<std::string> pendingAllows;  // from a comment-only line above
+  while (std::getline(in, rawLine)) {
+    ++lineNo;
+    std::set<std::string> allowed = parseAllows(name, lineNo, rawLine);
+    const std::string code = stripCode(rawLine, inBlockComment);
+    const bool hasCode =
+        code.find_first_not_of(" \t") != std::string::npos;
+    if (hasCode) {
+      allowed.insert(pendingAllows.begin(), pendingAllows.end());
+      pendingAllows.clear();
+    } else {
+      // An allow on a comment-only line covers the next line with code.
+      pendingAllows.insert(allowed.begin(), allowed.end());
+    }
+    const auto idents = identifiers(code);
+    auto allowedRule = [&allowed](const char* rule) {
+      return allowed.count(rule) != 0;
+    };
+
+    if (code.find("#pragma") != std::string::npos &&
+        code.find("once") != std::string::npos)
+      sawPragmaOnce = true;
+
+    // include-hygiene: relative escapes and libstdc++ internals.
+    if (code.find("#include") != std::string::npos) {
+      if (rawLine.find("\"../") != std::string::npos &&
+          !allowedRule("include-hygiene"))
+        report(name, lineNo, "include-hygiene",
+               "no \"../\" relative includes; use a module-qualified path");
+      if (rawLine.find("<bits/") != std::string::npos &&
+          !allowedRule("include-hygiene"))
+        report(name, lineNo, "include-hygiene",
+               "never include libstdc++ <bits/...> internals");
+      if (scope.inSrc && !allowedRule("assert") &&
+          (rawLine.find("<cassert>") != std::string::npos ||
+           rawLine.find("<assert.h>") != std::string::npos))
+        report(name, lineNo, "assert",
+               "src/ does not use assert(); include simcore/simcheck.hpp and "
+               "use SIM_CHECK/SIM_DCHECK");
+      continue;  // header names (<new>, <ctime>) are not code identifiers
+    }
+
+    for (const auto& [pos, ident] : idents) {
+      // raw-new: heap expressions on simcore's per-event paths.
+      if (scope.inSimcore && (ident == "new" || ident == "delete") &&
+          !allowedRule("raw-new")) {
+        const char prev = lastNonSpaceBefore(code, pos);
+        const bool deletedFn = ident == "delete" && prev == '=';
+        if (!deletedFn && !precededByOperator(code, pos))
+          report(name, lineNo, "raw-new",
+                 "raw `" + ident +
+                     "` in simcore; allocations on the event path must go "
+                     "through FrameArena / the event pool");
+      }
+      // priority-queue: only the scheduler's legacy reference may use it.
+      if (ident == "priority_queue" && !scope.isSchedulerCpp &&
+          !allowedRule("priority-queue"))
+        report(name, lineNo, "priority-queue",
+               "std::priority_queue is reserved for the legacy reference "
+               "queue inside scheduler.cpp; use the Scheduler API");
+      // assert: release-invisible checks guarding simulation state.
+      if (scope.inSrc && ident == "assert" && !allowedRule("assert")) {
+        std::size_t after = pos + ident.size();
+        while (after < code.size() && code[after] == ' ') ++after;
+        if (after < code.size() && code[after] == '(')
+          report(name, lineNo, "assert",
+                 "assert() vanishes under NDEBUG; simulation-state "
+                 "invariants must use SIM_CHECK (simcore/simcheck.hpp)");
+      }
+      // ternary-co-await: conditional-expression operand lifetimes are
+      // miscompiled by GCC's coroutine lowering (use-after-free under ASan).
+      if (ident == "co_await" && !allowedRule("ternary-co-await")) {
+        const char prev = lastNonSpaceBefore(code, pos);
+        const bool scopeColon =
+            prev == ':' && [&] {
+              std::size_t p = pos;
+              while (p > 0 && (code[p - 1] == ' ' || code[p - 1] == '\t')) --p;
+              return p >= 2 && code[p - 2] == ':';
+            }();
+        if ((prev == '?' || prev == ':') && !scopeColon)
+          report(name, lineNo, "ternary-co-await",
+                 "co_await as a ?:/range-for operand: GCC destroys the "
+                 "awaited temporary too early; use an if/else statement");
+      }
+      // wall-clock: host time / libc randomness in deterministic code.
+      if (scope.inSrc && kWallClockIdents.count(ident) != 0 &&
+          !allowedRule("wall-clock"))
+        report(name, lineNo, "wall-clock",
+               "`" + ident +
+                   "` breaks reproducibility; use Scheduler time and the "
+                   "seeded sim::Rng");
+    }
+  }
+  if (scope.isHeader && !sawPragmaOnce)
+    report(name, 1, "include-hygiene", "header is missing #pragma once");
+}
+
+bool lintableFile(const fs::path& p) {
+  const auto ext = p.extension();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: srclint <dir-or-file>...\n");
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); ++it)
+        if (it->is_regular_file() && lintableFile(it->path()))
+          files.push_back(it->path());
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "srclint: no such file or directory: %s\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) lintFile(f);
+  for (const auto& finding : gFindings)
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", finding.file.c_str(),
+                 finding.line, finding.rule.c_str(), finding.message.c_str());
+  if (!gFindings.empty()) {
+    std::fprintf(stderr, "srclint: %zu finding(s) in %zu file(s) scanned\n",
+                 gFindings.size(), files.size());
+    return 1;
+  }
+  std::printf("srclint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
