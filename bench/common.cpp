@@ -4,9 +4,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "obs/attr.hpp"
+#include "obs/critpath.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/trace.hpp"
 
 namespace bgckpt::bench {
@@ -16,8 +22,15 @@ namespace {
 std::string gTracePath;
 std::string gMetricsPath;
 std::string gPerfJsonPath;
+std::string gAttrPath;
+std::string gCritPathPath;
+std::size_t gFlightRecEvents = 0;
 sim::SimCheckMode gSimCheckMode = sim::SimCheckMode::kAuto;
 int gStacksAttached = 0;
+// Keep attached recorders alive past their stacks so a SHAPE CHECK failure
+// at report time can still dump what each run was doing (the global
+// registry in obs/flightrec holds only weak references).
+std::vector<std::shared_ptr<obs::FlightRecorder>> gFlightRecorders;
 
 struct PerfEntry {
   std::string label;
@@ -79,6 +92,20 @@ void obsInit(int argc, char** argv) {
       gPerfJsonPath = argv[++i];
     } else if (std::strncmp(a, "--perf-json=", 12) == 0) {
       gPerfJsonPath = a + 12;
+    } else if (std::strcmp(a, "--attr") == 0 && i + 1 < argc) {
+      gAttrPath = argv[++i];
+    } else if (std::strncmp(a, "--attr=", 7) == 0) {
+      gAttrPath = a + 7;
+    } else if (std::strcmp(a, "--critpath") == 0 && i + 1 < argc) {
+      gCritPathPath = argv[++i];
+    } else if (std::strncmp(a, "--critpath=", 11) == 0) {
+      gCritPathPath = a + 11;
+    } else if (std::strcmp(a, "--flightrec") == 0) {
+      gFlightRecEvents = obs::FlightRecorder::kDefaultEvents;
+    } else if (std::strncmp(a, "--flightrec=", 12) == 0) {
+      const long n = std::strtol(a + 12, nullptr, 10);
+      gFlightRecEvents = n > 0 ? static_cast<std::size_t>(n)
+                               : obs::FlightRecorder::kDefaultEvents;
     } else if (std::strcmp(a, "--simcheck") == 0) {
       gSimCheckMode = sim::SimCheckMode::kOn;
     } else if (std::strncmp(a, "--simcheck=", 11) == 0) {
@@ -141,7 +168,9 @@ bool perfFlush() {
 }
 
 void attachObs(iolib::SimStack& stack) {
-  if (gTracePath.empty() && gMetricsPath.empty()) return;
+  if (gTracePath.empty() && gMetricsPath.empty() && gAttrPath.empty() &&
+      gCritPathPath.empty() && gFlightRecEvents == 0)
+    return;
   const int n = ++gStacksAttached;
   if (!gTracePath.empty()) {
     const std::string chrome = numbered(gTracePath, n);
@@ -160,6 +189,44 @@ void attachObs(iolib::SimStack& stack) {
     stack.obs.exportOnDestroy(json, swapJsonForCsv(json));
     std::printf("[obs] metrics will be written to %s and %s\n", json.c_str(),
                 swapJsonForCsv(json).c_str());
+  }
+  // The newer flags announce on stderr: figure stdout must stay
+  // byte-identical whether or not attribution/critpath/flightrec are on.
+  // Their sinks only write at finalize, so probe the path now — a typo
+  // must fail at startup with exit 2, the same contract as --trace.
+  const auto requireWritable = [](const char* flag, const std::string& path) {
+    std::ofstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "error: %s: cannot open %s\n", flag, path.c_str());
+      std::exit(2);
+    }
+  };
+  if (!gAttrPath.empty()) {
+    const std::string json = numbered(gAttrPath, n);
+    requireWritable("--attr", json);
+    requireWritable("--attr", swapJsonForCsv(json));
+    auto attr = std::make_shared<obs::AttributionSink>();
+    attr->exportTo(json, swapJsonForCsv(json));
+    stack.obs.addSink(std::move(attr));
+    std::fprintf(stderr, "[obs] blocked-time attribution to %s and %s\n",
+                 json.c_str(), swapJsonForCsv(json).c_str());
+  }
+  if (!gCritPathPath.empty()) {
+    const std::string json = numbered(gCritPathPath, n);
+    requireWritable("--critpath", json);
+    stack.obs.attachCritPath(stack.sched, json);
+    std::fprintf(stderr, "[obs] critical-path report to %s\n", json.c_str());
+  }
+  if (gFlightRecEvents > 0) {
+    // Fresh-stack runSim already creates one via SimStackOptions; cover
+    // harnesses that build their own SimStack and only call attachObs.
+    if (!stack.flightRecorder) {
+      stack.flightRecorder = obs::FlightRecorder::create(gFlightRecEvents);
+      stack.obs.addSink(stack.flightRecorder);
+    }
+    gFlightRecorders.push_back(stack.flightRecorder);
+    std::fprintf(stderr, "[obs] flight recorder armed (%zu events/layer)\n",
+                 gFlightRecEvents);
   }
 }
 
@@ -183,6 +250,13 @@ int reportChecks(const std::vector<Check>& checks) {
   }
   std::printf("%d/%zu shape checks passed\n",
               static_cast<int>(checks.size()) - failures, checks.size());
+  if (failures > 0 && !gFlightRecorders.empty()) {
+    std::fprintf(stderr,
+                 "[flightrec] %d shape check(s) failed; dumping the last "
+                 "recorded events per stack\n",
+                 failures);
+    obs::dumpFlightRecorders(std::cerr);
+  }
   return failures == 0 ? 0 : 1;
 }
 
@@ -203,6 +277,7 @@ iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
   iolib::SimStackOptions opt;
   opt.seed = seed;
   opt.simcheck = gSimCheckMode;
+  opt.flightRecorderEvents = gFlightRecEvents;
   iolib::SimStack stack(np, opt);
   attachObs(stack);
   return runSim(stack, np, cfg);

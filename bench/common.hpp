@@ -50,6 +50,14 @@ std::string secs(double seconds);
 ///                      see simcore/simcheck.hpp). Harnesses that build
 ///                      their own SimStack honour the SIM_CHECK environment
 ///                      variable instead.
+///   --attr <file>      export per-rank blocked-time attribution there as
+///                      JSON, plus a CSV twin (obs/attr.hpp). Announce
+///                      lines go to stderr, so figure stdout is unchanged.
+///   --critpath <file>  record the causal event graph and write the
+///                      critical-path report there as JSON (obs/critpath.hpp)
+///   --flightrec[=N]    keep a flight recorder of the last N (default 256)
+///                      trace events per layer per stack; SimChecker
+///                      violations and failed SHAPE CHECKs dump it to stderr
 /// Unknown arguments are ignored so harnesses stay forward-compatible.
 void obsInit(int argc, char** argv);
 

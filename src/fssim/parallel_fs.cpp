@@ -165,34 +165,49 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
     const BlockRange blocks{offset / config_.blockSize,
                             (offset + len - 1) / config_.blockSize + 1};
     if (!state->tokens.holds(rank, blocks)) {
+      const sim::SimTime tokenStart = sched_.now();
       co_await state->tokenServer.acquire();
-      sim::ScopedTokens hold(state->tokenServer, 1);
-      // Ascending-writer heuristic: desire everything from here up, settle
-      // for what conflicts least (see RangeTokenManager::acquire).
-      const auto result = state->tokens.acquire(
-          rank, blocks,
-          BlockRange{blocks.lo, std::numeric_limits<std::uint64_t>::max()});
-      if (obs_) {
-        mTokenAcquires_->add();
-        mTokenRevocations_->add(result.revocations);
+      {
+        sim::ScopedTokens hold(state->tokenServer, 1);
+        // Ascending-writer heuristic: desire everything from here up, settle
+        // for what conflicts least (see RangeTokenManager::acquire).
+        const auto result = state->tokens.acquire(
+            rank, blocks,
+            BlockRange{blocks.lo, std::numeric_limits<std::uint64_t>::max()});
+        if (obs_) {
+          mTokenAcquires_->add();
+          mTokenRevocations_->add(result.revocations);
+        }
+        co_await sched_.delay(
+            config_.tokenOpCost +
+            static_cast<double>(result.revocations) * config_.revocationCost);
       }
-      co_await sched_.delay(
-          config_.tokenOpCost +
-          static_cast<double>(result.revocations) * config_.revocationCost);
+      // The whole negotiation — queueing on the token server plus the op
+      // and revocation costs — is lock-manager wait, not data transfer;
+      // blocked-time attribution separates it from the write proper.
+      if (obs_)
+        obs_->complete(obs::Layer::kFilesystem, rank, "token_wait", tokenStart,
+                       sched_.now());
     }
   }
 
   // 2. Size-token bounce when extending EOF after another client did.
   if (offset + len > state->sizeCommitted) {
+    const sim::SimTime sizeStart = sched_.now();
     co_await state->metanode.acquire();
-    sim::ScopedTokens hold(state->metanode, 1);
-    if (config_.usesTokens && state->lastExtender != -1 &&
-        state->lastExtender != rank) {
-      if (obs_) mSizeTokenBounces_->add();
-      co_await sched_.delay(config_.sizeTokenBounceCost);
+    {
+      sim::ScopedTokens hold(state->metanode, 1);
+      if (config_.usesTokens && state->lastExtender != -1 &&
+          state->lastExtender != rank) {
+        if (obs_) mSizeTokenBounces_->add();
+        co_await sched_.delay(config_.sizeTokenBounceCost);
+      }
+      state->lastExtender = rank;
+      state->sizeCommitted = std::max(state->sizeCommitted, offset + len);
     }
-    state->lastExtender = rank;
-    state->sizeCommitted = std::max(state->sizeCommitted, offset + len);
+    if (sched_.now() > sizeStart && obs_)
+      obs_->complete(obs::Layer::kFilesystem, rank, "token_wait", sizeStart,
+                     sched_.now());
   }
 
   // 3. Data path, block by block.

@@ -1,5 +1,7 @@
 #include "iolib/stack.hpp"
 
+#include <iostream>
+
 namespace bgckpt::iolib {
 
 namespace {
@@ -47,16 +49,23 @@ SimStack::SimStack(int numRanks, SimStackOptions options)
   // strategy code records each op exactly once.
   obs.addSink(std::make_shared<prof::IoProfileSink>(profile));
   obs.observeScheduler(sched);
+  if (options.flightRecorderEvents > 0) {
+    flightRecorder = obs::FlightRecorder::create(options.flightRecorderEvents);
+    obs.addSink(flightRecorder);
+  }
   if (checker) {
     checker->attach(sched);
     // Mirror violations into the metrics registry and the scheduler-layer
     // counter stream so they land next to the run they corrupted in any
     // exported trace. The stderr report still happens inside the checker.
+    // A violation also dumps the flight recorder(s): the last events per
+    // layer, attributed, right next to the report that aborts the run.
     auto& count = obs.metrics().counter("simcheck.violations");
     checker->setReportFn([this, &count](const sim::SimChecker::Violation& v) {
       count.add();
       obs.counterSample(obs::Layer::kScheduler, "simcheck.violation", v.time,
                         static_cast<double>(count.value()));
+      if (flightRecorder) flightRecorder->dump(std::cerr);
     });
   }
 }

@@ -16,6 +16,7 @@
 #include "mpisim/comm.hpp"
 #include "netsim/ion.hpp"
 #include "netsim/torus.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/obs.hpp"
 #include "profiling/profile.hpp"
 #include "simcore/scheduler.hpp"
@@ -36,6 +37,12 @@ struct SimStackOptions {
   /// the SIM_CHECK environment variable, then defaults to on in debug
   /// builds and off in release. Benches expose this as `--simcheck`.
   sim::SimCheckMode simcheck = sim::SimCheckMode::kAuto;
+  /// Keep a crash flight recorder (obs/flightrec.hpp) of the last N trace
+  /// events per layer; SimChecker violations dump it automatically, and
+  /// bench/common dumps it on SHAPE CHECK failures. 0 disables (default —
+  /// recording forces event construction on every instrumented site, which
+  /// the no-sink fast path otherwise skips). Benches expose `--flightrec`.
+  std::size_t flightRecorderEvents = 0;
 };
 
 class SimStack {
@@ -64,6 +71,9 @@ class SimStack {
   fs::ParallelFsSim fsys;
   mpi::Runtime rt;
   prof::IoProfile profile;
+  /// Present iff SimStackOptions::flightRecorderEvents > 0 (also reachable
+  /// through the global obs::dumpFlightRecorders registry).
+  std::shared_ptr<obs::FlightRecorder> flightRecorder;
   std::uint64_t seed;
 };
 

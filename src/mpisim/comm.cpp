@@ -78,7 +78,9 @@ struct Group {
         Waiter* w = *it;
         box.waiters.erase(it);
         w->msg = std::move(msg);
-        sched.scheduleResume(0.0, w->handle);
+        sched.scheduleResume(
+            0.0, w->handle,
+            sim::WakeEdge{sim::WakeKind::kMessageDeliver, "mpi-deliver"});
         return;
       }
     }
@@ -137,6 +139,19 @@ sim::Task<> transferAndDeliver(std::shared_ptr<Group> g, int src, int dst,
                     g->sched.now());
   g->deliver(dst, std::move(msg));
   gate->fire();
+}
+
+// One kMpi wait span per rank per collective, covering arrival through the
+// barrier release and the analytic cost delay. Blocked-time attribution
+// (obs/attr.hpp) classifies these as barrier wait, so the span must cover
+// the full interval a rank is held inside the collective — notably the wait
+// for stragglers, which is the paper's "blocked processor" component.
+void emitCollSpan(detail::Group& g, int localRank, const char* name,
+                  sim::SimTime t0) {
+  if (g.obs)
+    g.obs->complete(obs::Layer::kMpi,
+                    g.globalRanks[static_cast<std::size_t>(localRank)], name,
+                    t0, g.sched.now());
 }
 
 struct RecvAwaiter {
@@ -216,46 +231,55 @@ sim::Task<> Comm::waitAll(const std::vector<Request>& reqs) {
 
 sim::Task<> Comm::barrier() {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
   co_await g.sched.delay(g.coll.barrierCost(g.size()));
+  detail::emitCollSpan(g, rank_, "barrier", t0);
 }
 
 sim::Task<Message> Comm::bcast(int root, Message msg) {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   if (rank_ == root) g.bcastSlot = msg;
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
   Message result = g.bcastSlot;
   co_await g.sched.delay(
       g.coll.broadcastCost(g.size(), result.size));
+  detail::emitCollSpan(g, rank_, "collective", t0);
   co_return result;
 }
 
 sim::Task<double> Comm::allReduceSum(double value) {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   g.reduceSumAccum += value;
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
   const double result = g.reduceSumResult;
   co_await g.sched.delay(g.coll.reduceCost(g.size(), sizeof(double)) +
                          g.coll.broadcastCost(g.size(), sizeof(double)));
+  detail::emitCollSpan(g, rank_, "collective", t0);
   co_return result;
 }
 
 sim::Task<double> Comm::allReduceMax(double value) {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   g.reduceMaxAccum = std::max(g.reduceMaxAccum, value);
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
   const double result = g.reduceMaxResult;
   co_await g.sched.delay(g.coll.reduceCost(g.size(), sizeof(double)) +
                          g.coll.broadcastCost(g.size(), sizeof(double)));
+  detail::emitCollSpan(g, rank_, "collective", t0);
   co_return result;
 }
 
 sim::Task<std::vector<std::uint64_t>> Comm::allGatherU64(std::uint64_t value) {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   g.gatherAccum[static_cast<std::size_t>(rank_)] = value;
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
@@ -264,12 +288,14 @@ sim::Task<std::vector<std::uint64_t>> Comm::allGatherU64(std::uint64_t value) {
       g.coll.reduceCost(g.size(), sizeof(std::uint64_t)) +
       g.coll.broadcastCost(
           g.size(), sizeof(std::uint64_t) * g.gatherResult.size()));
+  detail::emitCollSpan(g, rank_, "collective", t0);
   co_return result;
 }
 
 sim::Task<std::shared_ptr<const std::vector<std::uint64_t>>>
 Comm::allGatherU64Shared(std::uint64_t value) {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   g.gatherAccum[static_cast<std::size_t>(rank_)] = value;
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
@@ -278,17 +304,20 @@ Comm::allGatherU64Shared(std::uint64_t value) {
       g.coll.reduceCost(g.size(), sizeof(std::uint64_t)) +
       g.coll.broadcastCost(g.size(),
                            sizeof(std::uint64_t) * g.gatherAccum.size()));
+  detail::emitCollSpan(g, rank_, "collective", t0);
   co_return result;
 }
 
 sim::Task<Comm> Comm::split(int color, int key) {
   auto& g = *group_;
+  const sim::SimTime t0 = g.sched.now();
   g.splitEntries.emplace_back(color, key, rank_);
   if (++g.collArrived == g.size()) g.finalizeCollective();
   co_await g.barrier.arriveAndWait();
   auto sub = g.splitGroups.at(color);
   const int newRank = g.splitLocalRank[static_cast<std::size_t>(rank_)];
   co_await g.sched.delay(g.coll.barrierCost(g.size()));
+  detail::emitCollSpan(g, rank_, "collective", t0);
   co_return Comm(std::move(sub), newRank);
 }
 

@@ -1,0 +1,69 @@
+// Crash flight recorder: a bounded ring of the most recent trace events.
+//
+// Always cheap — event() copies one TraceEvent into a preallocated ring
+// (names are string literals, so the copy is shallow and safe) and never
+// allocates after construction. The payoff comes when something goes wrong:
+// a SimChecker violation (SimStack wires this into the checker's report
+// path) or a failed bench SHAPE CHECK (bench/common) dumps the last N
+// events per layer, classified by the attribution engine, so the report
+// shows *what the simulation was doing* right before the invariant broke —
+// without the cost or disk traffic of full tracing at 16K ranks.
+//
+// Recorders register in a process-global registry (weak, auto-pruned) so
+// failure paths can dump every live stack's recorder without plumbing a
+// pointer through each layer. Single-threaded by design, like the
+// simulator itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace bgckpt::obs {
+
+class FlightRecorder final : public TraceSink {
+ public:
+  static constexpr std::size_t kDefaultEvents = 256;
+
+  /// `perLayer` = ring capacity for each layer (total memory is
+  /// kNumLayers * perLayer * sizeof(TraceEvent), ~128 KiB at the default).
+  explicit FlightRecorder(std::size_t perLayer = kDefaultEvents);
+
+  /// Construct and add to the global registry in one step.
+  static std::shared_ptr<FlightRecorder> create(
+      std::size_t perLayer = kDefaultEvents);
+
+  void event(const TraceEvent& ev) override;
+  unsigned layerMask() const override { return kAllLayers; }
+
+  /// Pretty-print the retained events, oldest first per layer, each line
+  /// tagged with its attribution phase when the classifier recognises it.
+  void dump(std::ostream& os) const;
+
+  std::uint64_t eventsSeen() const { return eventsSeen_; }
+  std::size_t capacityPerLayer() const { return perLayer_; }
+
+ private:
+  struct Rec {
+    TraceEvent ev;
+    std::uint64_t arrival = 0;  // global order across layers
+  };
+  std::size_t perLayer_;
+  std::uint64_t eventsSeen_ = 0;
+  std::array<std::vector<Rec>, static_cast<std::size_t>(kNumLayers)> rings_;
+  std::array<std::size_t, static_cast<std::size_t>(kNumLayers)> next_{};
+};
+
+/// Add a recorder to the process-global registry (weak reference; expired
+/// entries are pruned on the next dump).
+void registerFlightRecorder(const std::shared_ptr<FlightRecorder>& rec);
+
+/// Dump every live registered recorder to `os`; returns how many were
+/// dumped. Safe to call with none registered (prints nothing).
+std::size_t dumpFlightRecorders(std::ostream& os);
+
+}  // namespace bgckpt::obs

@@ -146,33 +146,54 @@ class Parser {
         case 'r': v.string += '\r'; break;
         case 't': v.string += '\t'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
+          auto readHex4 = [this]() -> std::optional<unsigned> {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                cp |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return std::nullopt;
+            }
+            return cp;
+          };
+          const std::optional<unsigned> hi = readHex4();
+          if (!hi) {
             fail("bad \\u escape");
             return std::nullopt;
           }
-          unsigned cp = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            cp <<= 4;
-            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f')
-              cp |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F')
-              cp |= static_cast<unsigned>(h - 'A' + 10);
-            else {
-              fail("bad \\u escape");
-              return std::nullopt;
-            }
+          unsigned cp = *hi;
+          // Surrogate pair: a high surrogate followed by "\uDC00".."\uDFFF"
+          // combines into one astral code point. A lone surrogate passes
+          // through UTF-8-encoded as-is (lenient, like the BMP path always
+          // was — we parse our own emitters, not adversarial input).
+          if (cp >= 0xD800 && cp < 0xDC00 && pos_ + 2 <= text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            const std::size_t rewind = pos_;
+            pos_ += 2;
+            const std::optional<unsigned> lo = readHex4();
+            if (lo && *lo >= 0xDC00 && *lo < 0xE000)
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (*lo - 0xDC00);
+            else
+              pos_ = rewind;  // not a low surrogate: leave it for the loop
           }
-          // UTF-8 encode (BMP code points only; surrogates pass through
-          // as-is, which is fine for our own ASCII emitters).
           if (cp < 0x80) {
             v.string += static_cast<char>(cp);
           } else if (cp < 0x800) {
             v.string += static_cast<char>(0xC0 | (cp >> 6));
             v.string += static_cast<char>(0x80 | (cp & 0x3F));
-          } else {
+          } else if (cp < 0x10000) {
             v.string += static_cast<char>(0xE0 | (cp >> 12));
+            v.string += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            v.string += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            v.string += static_cast<char>(0xF0 | (cp >> 18));
+            v.string += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
             v.string += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
             v.string += static_cast<char>(0x80 | (cp & 0x3F));
           }

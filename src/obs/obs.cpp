@@ -1,5 +1,7 @@
 #include "obs/obs.hpp"
 
+#include "obs/critpath.hpp"
+
 namespace bgckpt::obs {
 
 SchedulerProbe::SchedulerProbe(Observability& obs)
@@ -23,14 +25,23 @@ void SchedulerProbe::onRootDone(std::uint64_t rootId, sim::SimTime now) {
   obs_.end(Layer::kScheduler, static_cast<int>(rootId), "root", now);
 }
 
+void SchedulerProbe::onEventScheduled(std::uint64_t seq,
+                                      std::uint64_t parentSeq,
+                                      sim::SimTime when, sim::WakeKind kind,
+                                      const char* label) {
+  if (critPath_ != nullptr)
+    critPath_->onEventScheduled(seq, parentSeq, when, kind, label);
+}
+
 Observability::~Observability() {
   const sim::SimTime horizon = observedSched_ ? observedSched_->now() : 0.0;
   releaseScheduler();
-  if (!metricsJsonPath_.empty() || !metricsCsvPath_.empty()) {
-    finalize(horizon);
-    if (!metricsJsonPath_.empty()) metrics_.writeJson(metricsJsonPath_);
-    if (!metricsCsvPath_.empty()) metrics_.writeCsv(metricsCsvPath_);
-  }
+  // Aggregating sinks (attribution, critpath) must always get their
+  // finalize, even without a metrics export request; finalize() is
+  // idempotent, so a stack already finalized by hand skips the work.
+  finalize(horizon);
+  if (!metricsJsonPath_.empty()) metrics_.writeJson(metricsJsonPath_);
+  if (!metricsCsvPath_.empty()) metrics_.writeCsv(metricsCsvPath_);
 }
 
 void Observability::addSink(std::shared_ptr<TraceSink> sink) {
@@ -142,10 +153,34 @@ void Observability::releaseScheduler() {
     observedSched_->setHooks(nullptr);
     observedSched_ = nullptr;
   }
+  if (schedProbe_) schedProbe_->setCritPath(nullptr);
   schedProbe_.reset();
 }
 
+CritPathRecorder& Observability::attachCritPath(sim::Scheduler& sched,
+                                                std::string jsonPath) {
+  if (!critPath_) {
+    critPath_ = std::make_shared<CritPathRecorder>();
+    observeScheduler(sched);
+    schedProbe_->setCritPath(critPath_.get());
+    // Refresh the scheduler's cached wantsScheduleEvents() decision.
+    sched.setHooks(schedProbe_.get());
+    addSink(critPath_);
+  }
+  if (!jsonPath.empty()) critPath_->exportTo(std::move(jsonPath));
+  return *critPath_;
+}
+
 void Observability::finalize(sim::SimTime horizon) {
+  if (finalized_) {
+    // Already derived and finalized (manual call before the exportOnDestroy
+    // teardown, say): deriving again would divide busy-seconds by a new
+    // horizon and double-count nothing but still overwrite — skip, just
+    // re-flush so late events reach disk.
+    for (const auto& sink : sinks_) sink->flush();
+    return;
+  }
+  finalized_ = true;
   if (horizon > 0) {
     // Derive `<prefix>.utilization` from accumulated busy seconds: mean
     // fraction of the horizon each link/server/stream-slot was busy.
@@ -162,6 +197,7 @@ void Observability::finalize(sim::SimTime horizon) {
     }
     metrics_.gauge("sim.horizon_seconds").set(horizon);
   }
+  for (const auto& sink : sinks_) sink->finalize(horizon);
   for (const auto& sink : sinks_) sink->flush();
 }
 

@@ -22,22 +22,33 @@
 namespace bgckpt::obs {
 
 class Observability;
+class CritPathRecorder;
 
 /// sim::SchedulerHooks implementation: counts dispatched events, tracks the
 /// event-queue high-water mark, and emits one span per root task on the
-/// scheduler layer (tid = root id).
+/// scheduler layer (tid = root id). When a CritPathRecorder is attached it
+/// also forwards every causal scheduling edge (the scheduler caches
+/// wantsScheduleEvents() at setHooks time, so the forwarding branch costs
+/// nothing until Observability::attachCritPath re-installs the hooks).
 class SchedulerProbe final : public sim::SchedulerHooks {
  public:
   explicit SchedulerProbe(Observability& obs);
   void onDispatch(sim::SimTime now, std::size_t queueDepth) override;
   void onRootSpawned(std::uint64_t rootId, sim::SimTime now) override;
   void onRootDone(std::uint64_t rootId, sim::SimTime now) override;
+  bool wantsScheduleEvents() const override { return critPath_ != nullptr; }
+  void onEventScheduled(std::uint64_t seq, std::uint64_t parentSeq,
+                        sim::SimTime when, sim::WakeKind kind,
+                        const char* label) override;
+
+  void setCritPath(CritPathRecorder* critPath) { critPath_ = critPath; }
 
  private:
   Observability& obs_;
   Counter& events_;
   Counter& roots_;
   Gauge& queueDepthMax_;
+  CritPathRecorder* critPath_ = nullptr;
 };
 
 class Observability {
@@ -80,9 +91,19 @@ class Observability {
   /// order already guarantees this; tests use it directly).
   void releaseScheduler();
 
+  /// Start recording the causal event graph of `sched` (installing the
+  /// scheduler probe if necessary) and register the recorder as a sink so
+  /// it finalizes/exports with everything else. `jsonPath` (optional)
+  /// receives the critical-path report at finalize. Returns the recorder
+  /// for in-process queries; repeated calls return the existing one.
+  CritPathRecorder& attachCritPath(sim::Scheduler& sched,
+                                   std::string jsonPath = "");
+  CritPathRecorder* critPath() const { return critPath_.get(); }
+
   /// Convert accumulated busy-seconds gauges into utilization gauges over
-  /// [0, horizon] and flush all sinks. Layers record `<layer>.busy_seconds`
-  /// plus `<layer>.links`; this derives `<layer>.utilization`.
+  /// [0, horizon] and finalize + flush all sinks. Idempotent: the first
+  /// call wins (later calls — e.g. the exportOnDestroy teardown after a
+  /// manual finalize — only re-flush, so gauges are never derived twice).
   void finalize(sim::SimTime horizon);
 
   /// Ask the destructor to call finalize(scheduler.now()) and write the
@@ -96,6 +117,8 @@ class Observability {
   unsigned mask_ = 0;
   std::unique_ptr<SchedulerProbe> schedProbe_;
   sim::Scheduler* observedSched_ = nullptr;
+  std::shared_ptr<CritPathRecorder> critPath_;
+  bool finalized_ = false;
   std::string metricsJsonPath_;
   std::string metricsCsvPath_;
 };

@@ -44,7 +44,8 @@ class Channel {
       RecvWaiter* w = recvWaiters_.front();
       recvWaiters_.pop_front();
       w->value.emplace(std::move(value));
-      sched_.scheduleResume(0.0, w->handle);
+      sched_.scheduleResume(0.0, w->handle,
+                            WakeEdge{WakeKind::kChannelPush, "channel"});
       return;
     }
     items_.push_back(std::move(value));
@@ -112,7 +113,8 @@ class Channel {
     if (!sendWaiters_.empty()) {
       SendWaiter* w = sendWaiters_.front();
       sendWaiters_.pop_front();
-      sched_.scheduleResume(0.0, w->handle);
+      sched_.scheduleResume(0.0, w->handle,
+                            WakeEdge{WakeKind::kChannelPush, "channel"});
     }
   }
 

@@ -68,7 +68,8 @@ class Resource {
       Waiter* w = waiters_.front();
       waiters_.pop_front();
       available_ -= w->amount;
-      sched_.scheduleResume(0.0, w->handle);
+      sched_.scheduleResume(0.0, w->handle,
+                            WakeEdge{WakeKind::kResourceGrant, name_});
     }
   }
 

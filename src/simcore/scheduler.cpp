@@ -271,11 +271,29 @@ SimTime Scheduler::nextEventTime() {
 
 // -------------------------------------------------------------- dispatch --
 
+const char* wakeKindName(WakeKind kind) {
+  switch (kind) {
+    case WakeKind::kDelay: return "delay";
+    case WakeKind::kSpawn: return "spawn";
+    case WakeKind::kResourceGrant: return "resource_grant";
+    case WakeKind::kGateFire: return "gate_fire";
+    case WakeKind::kBarrierRelease: return "barrier_release";
+    case WakeKind::kChannelPush: return "channel_push";
+    case WakeKind::kMessageDeliver: return "message_deliver";
+    case WakeKind::kCallback: return "callback";
+  }
+  return "?";
+}
+
 void Scheduler::scheduleResume(Duration delayTime, std::coroutine_handle<> h,
-                               std::source_location loc) {
+                               WakeEdge edge, std::source_location loc) {
   const SimTime t = now_ + delayTime;
   const std::uint64_t seq = nextSeq_++;
   if (check_) check_->onSchedule(now_, t, loc);
+  if (hooksWantSchedule_)
+    hooks_->onEventScheduled(
+        seq, dispatchingSeq_, t, edge.kind,
+        edge.label != nullptr ? edge.label : loc.file_name());
   if (legacy_) {
     legacyQueue_.push(LegacyEvent{
         t, seq, h, nullptr,
@@ -295,10 +313,14 @@ void Scheduler::scheduleResume(Duration delayTime, std::coroutine_handle<> h,
 }
 
 void Scheduler::scheduleCall(Duration delayTime, std::function<void()> fn,
-                             std::source_location loc) {
+                             WakeEdge edge, std::source_location loc) {
   const SimTime t = now_ + delayTime;
   const std::uint64_t seq = nextSeq_++;
   if (check_) check_->onSchedule(now_, t, loc);
+  if (hooksWantSchedule_)
+    hooks_->onEventScheduled(
+        seq, dispatchingSeq_, t, edge.kind,
+        edge.label != nullptr ? edge.label : loc.file_name());
   if (legacy_) {
     legacyQueue_.push(LegacyEvent{
         t, seq, nullptr, std::move(fn),
@@ -323,13 +345,14 @@ void Scheduler::spawn(Task<> task) {
   const std::uint64_t id = nextRootId_++;
   if (hooks_) hooks_->onRootSpawned(id, now_);
   RootRunner runner = RootRunner::drive(*this, std::move(task), id);
-  scheduleResume(0.0, runner.handle);
+  scheduleResume(0.0, runner.handle, WakeEdge{WakeKind::kSpawn, "spawn"});
 }
 
 void Scheduler::step() {
   const std::uint32_t idx = popReady();
   EventNode& n = pool_[idx];
   now_ = n.time;
+  dispatchingSeq_ = n.seq;
   const std::coroutine_handle<> h = n.handle;
   std::function<void()> cb;
   if (!h) cb = std::move(n.callback);
@@ -349,6 +372,7 @@ void Scheduler::step() {
   } else {
     cb();
   }
+  dispatchingSeq_ = SchedulerHooks::kNoParent;
   if (hooks_) hooks_->onDispatch(now_, size_);
 }
 
@@ -356,6 +380,7 @@ void Scheduler::stepLegacy() {
   LegacyEvent ev = legacyQueue_.top();
   legacyQueue_.pop();
   now_ = ev.time;
+  dispatchingSeq_ = ev.seq;
   if (check_) {
     check_->onDispatch(now_, ev.meta.scheduledAt, ev.meta.file, ev.meta.line);
     if (ev.handle && FrameArena::instance().pointerState(ev.handle.address()) ==
@@ -368,6 +393,7 @@ void Scheduler::stepLegacy() {
   } else {
     ev.callback();
   }
+  dispatchingSeq_ = SchedulerHooks::kNoParent;
   if (hooks_) hooks_->onDispatch(now_, legacyQueue_.size());
 }
 

@@ -24,7 +24,8 @@ class Gate {
   void fire() {
     if (fired_) return;
     fired_ = true;
-    for (auto h : waiters_) sched_.scheduleResume(0.0, h);
+    for (auto h : waiters_)
+      sched_.scheduleResume(0.0, h, WakeEdge{WakeKind::kGateFire, "gate"});
     waiters_.clear();
   }
 
@@ -82,7 +83,9 @@ class Barrier {
 
  private:
   void releaseAll() {
-    for (auto h : waiters_) sched_.scheduleResume(0.0, h);
+    for (auto h : waiters_)
+      sched_.scheduleResume(0.0, h,
+                            WakeEdge{WakeKind::kBarrierRelease, "barrier"});
     waiters_.clear();
   }
 

@@ -32,6 +32,31 @@ TEST(Json, DecodesEscapes) {
   EXPECT_EQ(v->string, "line\nquote\"tab\tslash\\u:A");
 }
 
+TEST(Json, DecodesUnicodeEscapes) {
+  // BMP code points: 2- and 3-byte UTF-8 (U+00E9 e-acute, U+20AC euro).
+  EXPECT_EQ(parse(R"("\u00e9")")->string, "\xC3\xA9");
+  EXPECT_EQ(parse(R"("\u20AC")")->string, "\xE2\x82\xAC");
+  // Surrogate pairs -> astral plane, 4-byte UTF-8 (U+1F600 grinning face,
+  // U+10348 GOTHIC LETTER HWAIR).
+  EXPECT_EQ(parse(R"("\uD83D\uDE00")")->string, "\xF0\x9F\x98\x80");
+  EXPECT_EQ(parse(R"("\ud800\udf48")")->string, "\xF0\x90\x8D\x88");
+  // Pairs compose with surrounding text and other escapes.
+  EXPECT_EQ(parse(R"("a\uD83D\uDE00b\n")")->string,
+            "a\xF0\x9F\x98\x80"
+            "b\n");
+  // A lone high surrogate stays lenient: passes through 3-byte encoded.
+  EXPECT_EQ(parse(R"("\uD83DA")")->string,
+            "\xED\xA0\xBD"
+            "A");
+  // High surrogate followed by a \u escape that is NOT a low surrogate:
+  // the rewind path must leave the second escape to decode on its own.
+  EXPECT_EQ(parse(R"("\uD83D\u0041")")->string,
+            "\xED\xA0\xBD"
+            "A");
+  // A truncated escape after a high surrogate must still be an error.
+  EXPECT_FALSE(parse(R"("\uD83D\u12")").has_value());
+}
+
 TEST(Json, AccessorDefaults) {
   const auto v = parse(R"({"n":7,"s":"x"})");
   EXPECT_DOUBLE_EQ(v->numberOr("n", -1), 7.0);

@@ -165,6 +165,28 @@ TEST(Observability, FinalizeDerivesUtilization) {
   EXPECT_DOUBLE_EQ(obs.metrics().gauge("sim.horizon_seconds").value(), 10.0);
 }
 
+TEST(Observability, FinalizeIsIdempotent) {
+  struct CountingSink final : TraceSink {
+    int finalizes = 0;
+    void event(const TraceEvent&) override {}
+    void finalize(sim::SimTime) override { ++finalizes; }
+  };
+  Observability obs;
+  auto sink = std::make_shared<CountingSink>();
+  obs.addSink(sink);
+  obs.metrics().gauge("net.ion.busy_seconds").add(5.0);
+  obs.metrics().gauge("net.ion.links").set(2.0);
+  obs.finalize(10.0);
+  EXPECT_EQ(sink->finalizes, 1);
+  EXPECT_DOUBLE_EQ(obs.metrics().gauge("net.ion.utilization").value(), 0.25);
+  // A second call (a larger horizon, say the destructor's re-run) must not
+  // re-derive: utilization and the horizon gauge keep their first values.
+  obs.finalize(20.0);
+  EXPECT_DOUBLE_EQ(obs.metrics().gauge("net.ion.utilization").value(), 0.25);
+  EXPECT_DOUBLE_EQ(obs.metrics().gauge("sim.horizon_seconds").value(), 10.0);
+  EXPECT_EQ(sink->finalizes, 1);
+}
+
 TEST(Observability, SchedulerProbeCountsRootsAndEvents) {
   sim::Scheduler sched;
   Observability obs;

@@ -1,0 +1,131 @@
+// End-to-end coverage for the offline CLIs (tools/trace_report,
+// tools/perf_compare) against small committed fixtures: exit codes and the
+// key output lines each mode must produce. The binaries and fixture
+// directory come in as compile definitions from CMake.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#ifndef TOOLS_BIN_DIR
+#error "TOOLS_BIN_DIR must be defined by the build"
+#endif
+#ifndef TOOLS_FIXTURE_DIR
+#error "TOOLS_FIXTURE_DIR must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string traceReport() {
+  return std::string(TOOLS_BIN_DIR) + "/trace_report";
+}
+std::string perfCompare() {
+  return std::string(TOOLS_BIN_DIR) + "/perf_compare";
+}
+std::string fixture(const char* name) {
+  return std::string(TOOLS_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(TraceReportCli, SummaryModeReportsLayersAndBalance) {
+  const auto r = run(traceReport() + " " + fixture("trace_coio.jsonl"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("span balance: OK"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("io"), std::string::npos);
+  EXPECT_NE(r.output.find("mpi"), std::string::npos);
+  EXPECT_NE(r.output.find("horizon 1.800 s"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, AttrModePartitionsPhases) {
+  const auto r = run(traceReport() + " --attr " + fixture("trace_coio.jsonl"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("blocked-time attribution"), std::string::npos);
+  // rank0 collective 0.6 minus the 0.1 token wait, plus rank1's 0.7.
+  EXPECT_NE(r.output.find("barrier"), std::string::npos);
+  EXPECT_NE(r.output.find("1.200"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("token_wait"), std::string::npos);
+  EXPECT_NE(r.output.find("blocked"), std::string::npos);
+}
+
+TEST(TraceReportCli, AttrDiffComparesTwoRuns) {
+  const auto r = run(traceReport() + " --attr " + fixture("trace_coio.jsonl") +
+                     " --diff " + fixture("trace_rbio.jsonl"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("diff against"), std::string::npos);
+  EXPECT_NE(r.output.find("A-B"), std::string::npos);
+  EXPECT_NE(r.output.find("blocked-time ratio A/B"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("handoff_send"), std::string::npos);
+}
+
+TEST(TraceReportCli, CritPathModeRendersBuckets) {
+  const auto r =
+      run(traceReport() + " --critpath " + fixture("critpath_coio.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("critical path"), std::string::npos);
+  EXPECT_NE(r.output.find("path 1.800 s"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("delay"), std::string::npos);
+  EXPECT_NE(r.output.find("fabric.cpp"), std::string::npos);
+}
+
+TEST(TraceReportCli, CritPathDiffComparesTwoRuns) {
+  const auto r =
+      run(traceReport() + " --critpath " + fixture("critpath_coio.json") +
+          " --diff " + fixture("critpath_rbio.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("A seconds"), std::string::npos);
+  EXPECT_NE(r.output.find("fabric.cpp"), std::string::npos);
+  EXPECT_NE(r.output.find("resource_grant"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, ErrorsAreUsageExitCode) {
+  EXPECT_EQ(run(traceReport()).exitCode, 2);
+  EXPECT_EQ(run(traceReport() + " --attr /nonexistent.jsonl").exitCode, 2);
+  // --diff only makes sense with --attr/--critpath.
+  EXPECT_EQ(run(traceReport() + " " + fixture("trace_coio.jsonl") +
+                " --diff " + fixture("trace_rbio.jsonl"))
+                .exitCode,
+            2);
+}
+
+TEST(PerfCompareCli, PassesWhenEventsMatch) {
+  const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
+                     fixture("perf_same.json") + " --no-wall");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [PASS]: events"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [SKIP]: wall-clock"), std::string::npos);
+}
+
+TEST(PerfCompareCli, FailsOnEventRegression) {
+  const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
+                     fixture("perf_regressed.json") + " --no-wall");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [FAIL]: events"), std::string::npos)
+      << r.output;
+}
+
+TEST(PerfCompareCli, UsageAndMissingFilesExitTwo) {
+  EXPECT_EQ(run(perfCompare()).exitCode, 2);
+  EXPECT_EQ(run(perfCompare() + " " + fixture("perf_base.json") +
+                " /nonexistent.json")
+                .exitCode,
+            2);
+}
+
+}  // namespace

@@ -26,6 +26,12 @@
 //                   colon). GCC's coroutine lowering destroys the awaited
 //                   temporary before the conditional's result is copied out
 //                   — ASan sees a use-after-free. Spell it as if/else.
+//   obs-emit        member calls of `emit(...)` outside src/obs/. Trace
+//                   events flow through the Observability helpers
+//                   (begin/end/complete/message/counterSample) and sinks
+//                   register via Observability::addSink; hand-rolled emit
+//                   calls bypass the layer-mask fast path and the sink
+//                   registry the flight recorder and attribution rely on.
 //   include-hygiene headers must start with #pragma once; no "../" relative
 //                   includes; no <bits/...> internals.
 //
@@ -203,6 +209,7 @@ const std::set<std::string> kWallClockIdents = {
 struct FileScope {
   bool inSrc = false;      // under src/
   bool inSimcore = false;  // under src/simcore/
+  bool inObs = false;      // under src/obs/ (the hub may emit directly)
   bool isSchedulerCpp = false;
   bool isHeader = false;
 };
@@ -212,6 +219,7 @@ void lintFile(const fs::path& path) {
   FileScope scope;
   scope.inSrc = name.find("src/") != std::string::npos;
   scope.inSimcore = name.find("src/simcore/") != std::string::npos;
+  scope.inObs = name.find("src/obs/") != std::string::npos;
   scope.isSchedulerCpp = name.find("simcore/scheduler.cpp") != std::string::npos;
   scope.isHeader = path.extension() == ".hpp" || path.extension() == ".h";
 
@@ -307,6 +315,21 @@ void lintFile(const fs::path& path) {
           report(name, lineNo, "ternary-co-await",
                  "co_await as a ?:/range-for operand: GCC destroys the "
                  "awaited temporary too early; use an if/else statement");
+      }
+      // obs-emit: trace events go through the hub's typed helpers; only
+      // src/obs/ itself may fan events out to sinks.
+      if (ident == "emit" && !scope.inObs && !allowedRule("obs-emit")) {
+        const char prev = lastNonSpaceBefore(code, pos);
+        std::size_t after = pos + ident.size();
+        while (after < code.size() && code[after] == ' ') ++after;
+        const bool memberCall =
+            (prev == '.' || prev == '>') &&
+            after < code.size() && code[after] == '(';
+        if (memberCall)
+          report(name, lineNo, "obs-emit",
+                 "direct emit() bypasses the Observability hub; use "
+                 "begin/end/complete/message/counterSample and register "
+                 "sinks with Observability::addSink");
       }
       // wall-clock: host time / libc randomness in deterministic code.
       if (scope.inSrc && kWallClockIdents.count(ident) != 0 &&

@@ -1,8 +1,10 @@
 // trace_report: offline analysis of a JSONL trace event log.
 //
 // Usage:  trace_report <events.jsonl> [--bins N]
+//         trace_report --attr <events.jsonl> [--diff <other.jsonl>]
+//         trace_report --critpath <run.json> [--diff <other.json>]
 //
-// Reads the event log written alongside a Chrome trace by
+// Default mode reads the event log written alongside a Chrome trace by
 // `<bench> --trace <file>` (the `<file>.jsonl` twin), rebuilds the I/O
 // profile from the kIo event stream, and prints:
 //
@@ -10,6 +12,12 @@
 //   2. a span-balance check (every 'B' must have a matching 'E'),
 //   3. the Darshan-style job summary (prof::renderReport),
 //   4. a write/handoff activity timeline (the Fig. 12 view of the run).
+//
+// --attr replays the same log through the blocked-time attribution engine
+// (obs/attr.hpp) and prints the exclusive per-phase partition; with --diff
+// it compares two runs (e.g. rbIO vs coIO) phase by phase. --critpath
+// renders the JSON written by `<bench> --critpath <file>`, with the same
+// A/B diff option.
 //
 // The JSONL form keeps timestamps in simulated seconds, so nothing here
 // needs to undo the microsecond scaling of the Chrome stream.
@@ -20,9 +28,11 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/ascii.hpp"
+#include "obs/attr.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "profiling/profile.hpp"
@@ -39,19 +49,206 @@ struct LayerTotals {
 };
 
 int usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <events.jsonl> [--bins N]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s <events.jsonl> [--bins N]\n"
+               "       %s --attr <events.jsonl> [--diff <other.jsonl>]\n"
+               "       %s --critpath <run.json> [--diff <other.json>]\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+/// TraceEvent::name must outlive the emit; intern replayed names here.
+const char* internName(const std::string& name) {
+  static std::unordered_set<std::string> pool;
+  return pool.insert(name).first->c_str();
+}
+
+bool layerFromName(const std::string& cat, bgckpt::obs::Layer* layer) {
+  using bgckpt::obs::Layer;
+  for (int i = 0; i < bgckpt::obs::kNumLayers; ++i) {
+    const Layer l = static_cast<Layer>(i);
+    if (cat == bgckpt::obs::layerName(l)) {
+      *layer = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Replay a JSONL event log through the attribution engine. Returns false
+/// (with a message on stderr) when the file cannot be read or parsed.
+bool loadAttribution(const char* path,
+                     bgckpt::obs::AttributionEngine::Report* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path);
+    return false;
+  }
+  bgckpt::obs::AttributionEngine engine;
+  double horizon = 0;
+  std::uint64_t parseErrors = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = bgckpt::obs::json::parse(line);
+    if (!doc || !doc->isObject()) {
+      ++parseErrors;
+      continue;
+    }
+    bgckpt::obs::TraceEvent ev;
+    if (!layerFromName(doc->stringOr("cat", "?"), &ev.layer)) continue;
+    const std::string ph = doc->stringOr("ph", "X");
+    ev.phase = ph.empty() ? 'X' : ph[0];
+    ev.tid = static_cast<int>(doc->numberOr("tid", 0));
+    ev.name = internName(doc->stringOr("name", "?"));
+    ev.ts = doc->numberOr("ts", 0);
+    ev.dur = doc->numberOr("dur", 0);
+    horizon = std::max(horizon, ev.ts + ev.dur);
+    engine.addEvent(ev);
+  }
+  if (parseErrors)
+    std::fprintf(stderr, "trace_report: %s: %" PRIu64 " unparseable lines\n",
+                 path, parseErrors);
+  *out = engine.compute(horizon);
+  return true;
+}
+
+int runAttrMode(const char* pathA, const char* pathB) {
+  using bgckpt::obs::AttributionEngine;
+  using bgckpt::obs::Phase;
+  using bgckpt::obs::phaseName;
+  AttributionEngine::Report a;
+  if (!loadAttribution(pathA, &a)) return 2;
+  std::printf("blocked-time attribution: %s\n", pathA);
+  std::printf("%zu ranks, horizon %.3f s, partition defect %.3g s\n",
+              a.ranks.size(), a.horizon, a.partitionDefect());
+  if (pathB == nullptr) {
+    const double total = a.horizon * static_cast<double>(a.ranks.size());
+    std::printf("\n%-13s %16s %9s\n", "phase", "proc-seconds", "share");
+    for (int p = 0; p < bgckpt::obs::kNumPhases; ++p) {
+      const double s = a.totals[static_cast<std::size_t>(p)];
+      if (s <= 0.0) continue;
+      std::printf("%-13s %16.3f %8.2f%%\n", phaseName(static_cast<Phase>(p)),
+                  s, total > 0 ? s / total * 100.0 : 0.0);
+    }
+    std::printf("%-13s %16.3f %8.2f%%\n", "blocked", a.blockedSeconds(),
+                total > 0 ? a.blockedSeconds() / total * 100.0 : 0.0);
+    return 0;
+  }
+  AttributionEngine::Report b;
+  if (!loadAttribution(pathB, &b)) return 2;
+  std::printf("diff against: %s (%zu ranks, horizon %.3f s)\n", pathB,
+              b.ranks.size(), b.horizon);
+  std::printf("\n%-13s %16s %16s %16s\n", "phase", "A proc-sec", "B proc-sec",
+              "A-B");
+  for (int p = 0; p < bgckpt::obs::kNumPhases; ++p) {
+    const double sa = a.totals[static_cast<std::size_t>(p)];
+    const double sb = b.totals[static_cast<std::size_t>(p)];
+    if (sa <= 0.0 && sb <= 0.0) continue;
+    std::printf("%-13s %16.3f %16.3f %+16.3f\n",
+                phaseName(static_cast<Phase>(p)), sa, sb, sa - sb);
+  }
+  std::printf("%-13s %16.3f %16.3f %+16.3f\n", "blocked", a.blockedSeconds(),
+              b.blockedSeconds(), a.blockedSeconds() - b.blockedSeconds());
+  if (b.blockedSeconds() > 0)
+    std::printf("\nblocked-time ratio A/B: %.2fx\n",
+                a.blockedSeconds() / b.blockedSeconds());
+  return 0;
+}
+
+bool loadJsonFile(const char* path, Value* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path);
+    return false;
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::string err;
+  auto doc = bgckpt::obs::json::parse(text, &err);
+  if (!doc || !doc->isObject()) {
+    std::fprintf(stderr, "trace_report: %s: %s\n", path,
+                 err.empty() ? "not a JSON object" : err.c_str());
+    return false;
+  }
+  *out = *doc;
+  return true;
+}
+
+/// Pull "seconds" per bucket name out of a critpath "by_kind"/"by_label"
+/// array, preserving file order.
+std::vector<std::pair<std::string, double>> critBuckets(const Value& doc,
+                                                        const char* key) {
+  std::vector<std::pair<std::string, double>> out;
+  const Value* arr = doc.find(key);
+  if (arr == nullptr || !arr->isArray()) return out;
+  for (const Value& entry : *arr->array) {
+    if (!entry.isObject()) continue;
+    std::string name = entry.stringOr("kind", "");
+    if (name.empty()) name = entry.stringOr("label", "?");
+    out.emplace_back(std::move(name), entry.numberOr("seconds", 0));
+  }
+  return out;
+}
+
+int runCritPathMode(const char* pathA, const char* pathB) {
+  Value a;
+  if (!loadJsonFile(pathA, &a)) return 2;
+  std::printf("critical path: %s\n", pathA);
+  std::printf("horizon %.3f s, %.0f events recorded, %.0f path steps, "
+              "path %.3f s\n",
+              a.numberOr("horizon_seconds", 0), a.numberOr("events_recorded", 0),
+              a.numberOr("path_steps", 0), a.numberOr("path_seconds", 0));
+  const double pathSecondsA = a.numberOr("path_seconds", 0);
+  if (pathB == nullptr) {
+    for (const char* key : {"by_kind", "by_label"}) {
+      std::printf("\n%-24s %14s %9s\n", key, "seconds", "share");
+      for (const auto& [name, seconds] : critBuckets(a, key)) {
+        if (seconds <= 0.0) continue;
+        std::printf("%-24s %14.6f %8.2f%%\n", name.c_str(), seconds,
+                    pathSecondsA > 0 ? seconds / pathSecondsA * 100.0 : 0.0);
+      }
+    }
+    return 0;
+  }
+  Value b;
+  if (!loadJsonFile(pathB, &b)) return 2;
+  std::printf("diff against: %s (path %.3f s)\n", pathB,
+              b.numberOr("path_seconds", 0));
+  for (const char* key : {"by_kind", "by_label"}) {
+    std::map<std::string, std::pair<double, double>> merged;
+    for (const auto& [name, seconds] : critBuckets(a, key))
+      merged[name].first = seconds;
+    for (const auto& [name, seconds] : critBuckets(b, key))
+      merged[name].second = seconds;
+    std::printf("\n%-24s %14s %14s %14s\n", key, "A seconds", "B seconds",
+                "A-B");
+    for (const auto& [name, ab] : merged) {
+      if (ab.first <= 0.0 && ab.second <= 0.0) continue;
+      std::printf("%-24s %14.6f %14.6f %+14.6f\n", name.c_str(), ab.first,
+                  ab.second, ab.first - ab.second);
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
+  const char* diffPath = nullptr;
   int bins = 60;
+  enum class Mode { kSummary, kAttr, kCritPath } mode = Mode::kSummary;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bins") == 0 && i + 1 < argc) {
       bins = std::atoi(argv[++i]);
       if (bins < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--attr") == 0) {
+      mode = Mode::kAttr;
+    } else if (std::strcmp(argv[i], "--critpath") == 0) {
+      mode = Mode::kCritPath;
+    } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
+      diffPath = argv[++i];
     } else if (argv[i][0] == '-') {
       return usage(argv[0]);
     } else {
@@ -59,6 +256,9 @@ int main(int argc, char** argv) {
     }
   }
   if (!path) return usage(argv[0]);
+  if (diffPath != nullptr && mode == Mode::kSummary) return usage(argv[0]);
+  if (mode == Mode::kAttr) return runAttrMode(path, diffPath);
+  if (mode == Mode::kCritPath) return runCritPathMode(path, diffPath);
 
   std::ifstream in(path);
   if (!in) {
