@@ -13,6 +13,7 @@
 #include "obs/attr.hpp"
 #include "obs/critpath.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace bgckpt::bench {
@@ -24,7 +25,12 @@ std::string gMetricsPath;
 std::string gPerfJsonPath;
 std::string gAttrPath;
 std::string gCritPathPath;
+std::string gTelemetryPath;
+double gTelemetryDt = 0.0;  // 0 = Telemetry::kDefaultDt
 std::size_t gFlightRecEvents = 0;
+// Captured by obsInit for the run manifests written next to each artifact.
+std::string gBenchName;
+std::vector<std::string> gCmdArgs;
 sim::SimCheckMode gSimCheckMode = sim::SimCheckMode::kAuto;
 int gStacksAttached = 0;
 // Keep attached recorders alive past their stacks so a SHAPE CHECK failure
@@ -75,9 +81,56 @@ std::string jsonlTwin(const std::string& path) {
   return path + ".jsonl";
 }
 
+/// Write the run manifest next to an obs artifact ("<path>.manifest.json"):
+/// which harness produced it, on what partition, with which flags. The
+/// artifact path itself was already probed writable, so a failure here is
+/// unexpected enough to warrant the same exit-2 contract.
+void writeManifest(const std::string& artifactPath, const char* artifact,
+                   int np, int stackN) {
+  const std::string path = artifactPath + ".manifest.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write manifest %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"schema_version\": \"%s\",\n",
+               obs::kManifestSchemaVersion);
+  std::fprintf(f, "  \"artifact\": \"%s\",\n", artifact);
+  std::fprintf(f, "  \"bench\": \"%s\",\n", jsonEscape(gBenchName).c_str());
+  std::fprintf(f, "  \"np\": %d,\n", np);
+  std::fprintf(f, "  \"stack\": %d,\n", stackN);
+  std::fprintf(f, "  \"bucket_dt\": %.6g,\n",
+               gTelemetryDt > 0 ? gTelemetryDt : obs::Telemetry::kDefaultDt);
+  std::fprintf(f, "  \"flags\": [");
+  bool firstFlag = true;
+  const auto flag = [&](const char* name, bool active) {
+    if (!active) return;
+    std::fprintf(f, "%s\"%s\"", firstFlag ? "" : ", ", name);
+    firstFlag = false;
+  };
+  flag("--trace", !gTracePath.empty());
+  flag("--metrics", !gMetricsPath.empty());
+  flag("--attr", !gAttrPath.empty());
+  flag("--critpath", !gCritPathPath.empty());
+  flag("--telemetry", !gTelemetryPath.empty());
+  flag("--flightrec", gFlightRecEvents > 0);
+  std::fprintf(f, "],\n  \"args\": [");
+  for (std::size_t i = 0; i < gCmdArgs.size(); ++i)
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 jsonEscape(gCmdArgs[i]).c_str());
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+}
+
 }  // namespace
 
 void obsInit(int argc, char** argv) {
+  if (argc > 0) {
+    gBenchName = argv[0];
+    const auto slash = gBenchName.find_last_of('/');
+    if (slash != std::string::npos) gBenchName = gBenchName.substr(slash + 1);
+  }
+  gCmdArgs.assign(argv + (argc > 0 ? 1 : 0), argv + argc);
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
@@ -100,6 +153,14 @@ void obsInit(int argc, char** argv) {
       gCritPathPath = argv[++i];
     } else if (std::strncmp(a, "--critpath=", 11) == 0) {
       gCritPathPath = a + 11;
+    } else if (std::strcmp(a, "--telemetry") == 0 && i + 1 < argc) {
+      gTelemetryPath = argv[++i];
+    } else if (std::strncmp(a, "--telemetry=", 12) == 0 && i + 1 < argc) {
+      // --telemetry=<dt> <file>: the value attached to the flag is the
+      // bucket width in simulated seconds; the output path follows.
+      const double dt = std::strtod(a + 12, nullptr);
+      gTelemetryDt = dt > 0 ? dt : 0.0;
+      gTelemetryPath = argv[++i];
     } else if (std::strcmp(a, "--flightrec") == 0) {
       gFlightRecEvents = obs::FlightRecorder::kDefaultEvents;
     } else if (std::strncmp(a, "--flightrec=", 12) == 0) {
@@ -169,9 +230,14 @@ bool perfFlush() {
 
 void attachObs(iolib::SimStack& stack) {
   if (gTracePath.empty() && gMetricsPath.empty() && gAttrPath.empty() &&
-      gCritPathPath.empty() && gFlightRecEvents == 0)
+      gCritPathPath.empty() && gTelemetryPath.empty() &&
+      gFlightRecEvents == 0)
     return;
   const int n = ++gStacksAttached;
+  const int np = stack.rt.numRanks();
+  // Each artifact written by this attach gets a "<path>.manifest.json"
+  // sidecar so downstream tools can validate provenance and schema.
+  std::vector<std::pair<const char*, std::string>> artifacts;
   if (!gTracePath.empty()) {
     const std::string chrome = numbered(gTracePath, n);
     const std::string jsonl = jsonlTwin(chrome);
@@ -183,12 +249,14 @@ void attachObs(iolib::SimStack& stack) {
     }
     std::printf("[obs] streaming Chrome trace to %s (+ %s)\n", chrome.c_str(),
                 jsonl.c_str());
+    artifacts.emplace_back("trace", chrome);
   }
   if (!gMetricsPath.empty()) {
     const std::string json = numbered(gMetricsPath, n);
     stack.obs.exportOnDestroy(json, swapJsonForCsv(json));
     std::printf("[obs] metrics will be written to %s and %s\n", json.c_str(),
                 swapJsonForCsv(json).c_str());
+    artifacts.emplace_back("metrics", json);
   }
   // The newer flags announce on stderr: figure stdout must stay
   // byte-identical whether or not attribution/critpath/flightrec are on.
@@ -210,13 +278,27 @@ void attachObs(iolib::SimStack& stack) {
     stack.obs.addSink(std::move(attr));
     std::fprintf(stderr, "[obs] blocked-time attribution to %s and %s\n",
                  json.c_str(), swapJsonForCsv(json).c_str());
+    artifacts.emplace_back("attr", json);
   }
   if (!gCritPathPath.empty()) {
     const std::string json = numbered(gCritPathPath, n);
     requireWritable("--critpath", json);
     stack.obs.attachCritPath(stack.sched, json);
     std::fprintf(stderr, "[obs] critical-path report to %s\n", json.c_str());
+    artifacts.emplace_back("critpath", json);
   }
+  if (!gTelemetryPath.empty()) {
+    const std::string json = numbered(gTelemetryPath, n);
+    const std::string csv = swapJsonForCsv(json);
+    requireWritable("--telemetry", json);
+    requireWritable("--telemetry", csv);
+    stack.obs.attachTelemetry(stack.sched, gTelemetryDt, json, csv);
+    std::fprintf(stderr,
+                 "[obs] sampled telemetry (dt=%.3gs) to %s and %s\n",
+                 stack.obs.telemetry().bucketDt(), json.c_str(), csv.c_str());
+    artifacts.emplace_back("telemetry", json);
+  }
+  for (const auto& [kind, path] : artifacts) writeManifest(path, kind, np, n);
   if (gFlightRecEvents > 0) {
     // Fresh-stack runSim already creates one via SimStackOptions; cover
     // harnesses that build their own SimStack and only call attachObs.

@@ -55,10 +55,21 @@ std::string secs(double seconds);
 ///                      lines go to stderr, so figure stdout is unchanged.
 ///   --critpath <file>  record the causal event graph and write the
 ///                      critical-path report there as JSON (obs/critpath.hpp)
+///   --telemetry[=DT] <file>
+///                      sample every registered telemetry probe into
+///                      DT-second buckets (default obs::Telemetry::
+///                      kDefaultDt) and write the timeseries there as JSON,
+///                      plus a CSV twin. Feed the JSON to `trace_report
+///                      --timeline` for utilization heatmaps and
+///                      server-imbalance stats. Announce lines go to
+///                      stderr; figure stdout is byte-identical.
 ///   --flightrec[=N]    keep a flight recorder of the last N (default 256)
 ///                      trace events per layer per stack; SimChecker
 ///                      violations and failed SHAPE CHECKs dump it to stderr
-/// Unknown arguments are ignored so harnesses stay forward-compatible.
+/// Every file-producing flag also writes a `<file>.manifest.json` sidecar
+/// (schema version, bench name, np, flag set) that tools/trace_report
+/// validates before parsing. Unknown arguments are ignored so harnesses
+/// stay forward-compatible.
 void obsInit(int argc, char** argv);
 
 /// Record one simulated run in the --perf-json report (no-op without the

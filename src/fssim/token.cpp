@@ -26,6 +26,7 @@ RangeTokenManager::AcquireResult RangeTokenManager::acquire(
     result.alreadyHeld = true;
     return result;
   }
+  ++totalGrants_;
 
   if (virgin_) {
     // Optimistic whole-file grant to the first client.

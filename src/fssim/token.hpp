@@ -61,6 +61,10 @@ class RangeTokenManager {
   /// Total revocations performed over this manager's lifetime.
   std::uint64_t totalRevocations() const { return totalRevocations_; }
 
+  /// Grants that needed token traffic (acquires not already satisfied by a
+  /// held range); feeds the fs.token.grants telemetry rate.
+  std::uint64_t totalGrants() const { return totalGrants_; }
+
  private:
   struct Holding {
     std::uint64_t hi = 0;
@@ -73,6 +77,7 @@ class RangeTokenManager {
   std::map<std::uint64_t, Holding> holdings_;
   bool virgin_ = true;  // no client has touched the file yet
   std::uint64_t totalRevocations_ = 0;
+  std::uint64_t totalGrants_ = 0;
 };
 
 }  // namespace bgckpt::fs

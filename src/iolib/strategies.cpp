@@ -35,6 +35,10 @@ struct RunState {
   std::vector<double> perRank;
   std::vector<double> isendTime;  // workers (rbIO); -1 elsewhere
   std::vector<char> isWriter;
+  // Sampled-telemetry probes (aggregate across the run's writers): dormant
+  // handles unless --telemetry enabled the registry.
+  obs::Probe* tHandoff = nullptr;    // worker packages sent, not yet received
+  obs::Probe* tAggBuffer = nullptr;  // bytes parked in writer agg buffers
 };
 
 RunState makeRunState(SimStack& stack, const CheckpointSpec& spec,
@@ -65,6 +69,12 @@ RunState makeRunState(SimStack& stack, const CheckpointSpec& spec,
   st.perRank.assign(static_cast<std::size_t>(np), 0.0);
   st.isendTime.assign(static_cast<std::size_t>(np), -1.0);
   st.isWriter.assign(static_cast<std::size_t>(np), 0);
+  if (cfg.kind == StrategyKind::kRbIo) {
+    st.tHandoff = &stack.obs.telemetry().probe("io.rbio.handoff_inflight",
+                                               obs::ProbeKind::kGauge);
+    st.tAggBuffer = &stack.obs.telemetry().probe("io.rbio.agg_buffer_bytes",
+                                                 obs::ProbeKind::kGauge);
+  }
   return st;
 }
 
@@ -199,6 +209,7 @@ Task<> rbIoWorker(Comm world, RunState& st, int writerRank) {
   // The worker's entire blocking I/O cost: one nonblocking send.
   obs->begin(obs::Layer::kIo, rank, "handoff", sched.now());
   const double t0 = sched.now();
+  st.tHandoff->add(1.0);
   obs::IoOpSpan sendOp(obs, sched, rank, "send");
   mpi::Request req =
       co_await world.isend(writerRank, st.packageTag, std::move(package));
@@ -226,10 +237,13 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
     packages[rank] = std::make_shared<const std::vector<std::byte>>(
         makeRankPayload(spec, world.globalRank(rank)));
   obs->begin(obs::Layer::kIo, rank, "aggregate", sched.now());
+  st.tAggBuffer->add(static_cast<double>(spec.bytesPerRank()));
   {
     obs::IoOpSpan op(obs, sched, rank, "recv");
     for (int i = 1; i < g; ++i) {
       Message msg = co_await world.recv(mpi::kAnySource, st.packageTag);
+      st.tHandoff->add(-1.0);
+      st.tAggBuffer->add(static_cast<double>(spec.bytesPerRank()));
       if (spec.carryPayload)
         packages[static_cast<int>(msg.meta)] = msg.payload;
     }
@@ -276,6 +290,7 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
 
     const sim::Bytes total = groupLayout.fileBytes();
     std::uint64_t cursor = 0;
+    double buffered = static_cast<double>(groupBytes);
     while (cursor < total) {
       const sim::Bytes chunk =
           std::min<sim::Bytes>(st.cfg.writerBuffer, total - cursor);
@@ -286,7 +301,11 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
                               : std::span<const std::byte>());
       op.stop(chunk);
       cursor += chunk;
+      const double drained = std::min(buffered, static_cast<double>(chunk));
+      st.tAggBuffer->add(-drained);
+      buffered -= drained;
     }
+    st.tAggBuffer->add(-buffered);
 
     obs::IoOpSpan closeOp(obs, sched, rank, "close");
     co_await fsys.close(client, fh);
@@ -309,6 +328,7 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
       op.stop(isRoot ? spec.headerBytes : 0);
     }
     std::vector<std::byte> section;
+    double buffered = static_cast<double>(groupBytes);
     for (int f = 0; f < spec.numFields; ++f) {
       const sim::Bytes sectionBytes =
           static_cast<sim::Bytes>(g) * spec.fieldBytesPerRank;
@@ -332,7 +352,12 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
           spec.carryPayload ? std::span<const std::byte>(section)
                             : std::span<const std::byte>());
       op.stop(sectionBytes);
+      const double drained =
+          std::min(buffered, static_cast<double>(sectionBytes));
+      st.tAggBuffer->add(-drained);
+      buffered -= drained;
     }
+    st.tAggBuffer->add(-buffered);
     obs::IoOpSpan closeOp(obs, sched, rank, "close");
     co_await file.close();
     closeOp.stop();

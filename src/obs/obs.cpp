@@ -1,6 +1,8 @@
 #include "obs/obs.hpp"
 
+#include "obs/attr.hpp"
 #include "obs/critpath.hpp"
+#include "obs/telemetry.hpp"
 
 namespace bgckpt::obs {
 
@@ -10,10 +12,10 @@ SchedulerProbe::SchedulerProbe(Observability& obs)
       roots_(obs.metrics().counter("sched.roots")),
       queueDepthMax_(obs.metrics().gauge("sched.queue_depth.max")) {}
 
-void SchedulerProbe::onDispatch([[maybe_unused]] sim::SimTime now,
-                                std::size_t queueDepth) {
+void SchedulerProbe::onDispatch(sim::SimTime now, std::size_t queueDepth) {
   events_.add();
   queueDepthMax_.setMax(static_cast<double>(queueDepth));
+  if (telemetry_ != nullptr) telemetry_->tick(now, queueDepth);
 }
 
 void SchedulerProbe::onRootSpawned(std::uint64_t rootId, sim::SimTime now) {
@@ -32,6 +34,8 @@ void SchedulerProbe::onEventScheduled(std::uint64_t seq,
   if (critPath_ != nullptr)
     critPath_->onEventScheduled(seq, parentSeq, when, kind, label);
 }
+
+Observability::Observability() = default;
 
 Observability::~Observability() {
   const sim::SimTime horizon = observedSched_ ? observedSched_->now() : 0.0;
@@ -153,8 +157,33 @@ void Observability::releaseScheduler() {
     observedSched_->setHooks(nullptr);
     observedSched_ = nullptr;
   }
-  if (schedProbe_) schedProbe_->setCritPath(nullptr);
+  if (schedProbe_) {
+    schedProbe_->setCritPath(nullptr);
+    schedProbe_->setTelemetry(nullptr);
+  }
   schedProbe_.reset();
+}
+
+Telemetry& Observability::telemetry() {
+  if (!telemetry_) telemetry_ = std::make_unique<Telemetry>();
+  return *telemetry_;
+}
+
+TelemetrySink& Observability::attachTelemetry(sim::Scheduler& sched,
+                                              double bucketDt,
+                                              std::string jsonPath,
+                                              std::string csvPath) {
+  if (!telemetrySink_) {
+    Telemetry& reg = telemetry();
+    reg.enable(sched, bucketDt);
+    observeScheduler(sched);
+    schedProbe_->setTelemetry(&reg);
+    telemetrySink_ = std::make_shared<TelemetrySink>(reg);
+    addSink(telemetrySink_);
+  }
+  if (!jsonPath.empty() || !csvPath.empty())
+    telemetrySink_->exportTo(std::move(jsonPath), std::move(csvPath));
+  return *telemetrySink_;
 }
 
 CritPathRecorder& Observability::attachCritPath(sim::Scheduler& sched,
@@ -198,6 +227,15 @@ void Observability::finalize(sim::SimTime horizon) {
     metrics_.gauge("sim.horizon_seconds").set(horizon);
   }
   for (const auto& sink : sinks_) sink->finalize(horizon);
+  // Tie the sampled view to the exact event view: whenever both sinks are
+  // attached, their independently integrated busy times must agree.
+  if (telemetrySink_ && telemetrySink_->finalized()) {
+    for (const auto& sink : sinks_) {
+      const auto* attr = dynamic_cast<const AttributionSink*>(sink.get());
+      if (attr != nullptr && attr->finalized())
+        telemetrySink_->crossCheckAttribution(attr->report());
+    }
+  }
   for (const auto& sink : sinks_) sink->flush();
 }
 

@@ -23,6 +23,8 @@ namespace bgckpt::obs {
 
 class Observability;
 class CritPathRecorder;
+class Telemetry;
+class TelemetrySink;
 
 /// sim::SchedulerHooks implementation: counts dispatched events, tracks the
 /// event-queue high-water mark, and emits one span per root task on the
@@ -42,6 +44,10 @@ class SchedulerProbe final : public sim::SchedulerHooks {
                         const char* label) override;
 
   void setCritPath(CritPathRecorder* critPath) { critPath_ = critPath; }
+  /// Hand the probe a live Telemetry registry: every dispatch then drives
+  /// the sampling cadence (queue-depth gauge + bucket close-out). Nullptr
+  /// (the default) keeps dispatch at one extra branch.
+  void setTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
 
  private:
   Observability& obs_;
@@ -49,11 +55,12 @@ class SchedulerProbe final : public sim::SchedulerHooks {
   Counter& roots_;
   Gauge& queueDepthMax_;
   CritPathRecorder* critPath_ = nullptr;
+  Telemetry* telemetry_ = nullptr;
 };
 
 class Observability {
  public:
-  Observability() = default;
+  Observability();  // out of line: members of forward-declared types
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
   ~Observability();
@@ -100,6 +107,22 @@ class Observability {
                                    std::string jsonPath = "");
   CritPathRecorder* critPath() const { return critPath_.get(); }
 
+  /// The sampled-telemetry probe registry (obs/telemetry.hpp). Layers
+  /// resolve Probe handles here at construction; probes stay dormant (one
+  /// branch per update) until attachTelemetry flips them live.
+  Telemetry& telemetry();
+
+  /// Start sampled telemetry on `sched`: enables the registry at bucket
+  /// width `bucketDt` (<=0 = default), wires the sampling cadence into the
+  /// scheduler probe, and registers a TelemetrySink so series close and
+  /// export (optional JSON/CSV paths) at finalize. Repeated calls return
+  /// the existing sink. Finalize cross-checks the sampled busy time
+  /// against any attached AttributionSink.
+  TelemetrySink& attachTelemetry(sim::Scheduler& sched, double bucketDt = 0.0,
+                                 std::string jsonPath = "",
+                                 std::string csvPath = "");
+  TelemetrySink* telemetrySink() const { return telemetrySink_.get(); }
+
   /// Convert accumulated busy-seconds gauges into utilization gauges over
   /// [0, horizon] and finalize + flush all sinks. Idempotent: the first
   /// call wins (later calls — e.g. the exportOnDestroy teardown after a
@@ -118,6 +141,8 @@ class Observability {
   std::unique_ptr<SchedulerProbe> schedProbe_;
   sim::Scheduler* observedSched_ = nullptr;
   std::shared_ptr<CritPathRecorder> critPath_;
+  std::unique_ptr<Telemetry> telemetry_;
+  std::shared_ptr<TelemetrySink> telemetrySink_;
   bool finalized_ = false;
   std::string metricsJsonPath_;
   std::string metricsCsvPath_;

@@ -103,6 +103,51 @@ TEST(TraceReportCli, ErrorsAreUsageExitCode) {
             2);
 }
 
+TEST(TraceReportCli, TimelineModeRendersHeatmapAndImbalance) {
+  const auto r =
+      run(traceReport() + " --timeline " + fixture("telemetry_1pfpp.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("telemetry timeline"), std::string::npos);
+  EXPECT_NE(r.output.find("horizon 2.000 s, 4 buckets of 0.5 s, 2 series"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("stor.server.bytes (rate, 4 instances"),
+            std::string::npos)
+      << r.output;
+  // Loads [6,2,1,1]: Jain = 100/168, skew = 6/2.5, share = 60%.
+  EXPECT_NE(r.output.find("jain=0.595"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("max/mean=2.40"), std::string::npos);
+  EXPECT_NE(r.output.find("max-share=60.0%"), std::string::npos);
+  EXPECT_NE(r.output.find("busiest #0"), std::string::npos);
+  // Instance 0's row saturates the shade scale somewhere.
+  EXPECT_NE(r.output.find("@"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, TimelineDiffComparesImbalance) {
+  const auto r =
+      run(traceReport() + " --timeline " + fixture("telemetry_1pfpp.json") +
+          " --diff " + fixture("telemetry_rbio.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("diff against"), std::string::npos);
+  EXPECT_NE(r.output.find("A jain"), std::string::npos);
+  EXPECT_NE(r.output.find("0.595"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0.962"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, TimelineRejectsWrongSchemaVersion) {
+  const auto r =
+      run(traceReport() + " --timeline " + fixture("telemetry_badschema.json"));
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("not supported"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, TimelineRejectsWrongManifestVersion) {
+  const auto r = run(traceReport() + " --timeline " +
+                     fixture("telemetry_badmanifest.json"));
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("manifest schema"), std::string::npos) << r.output;
+}
+
 TEST(PerfCompareCli, PassesWhenEventsMatch) {
   const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
                      fixture("perf_same.json") + " --no-wall");

@@ -32,6 +32,12 @@
 //                   register via Observability::addSink; hand-rolled emit
 //                   calls bypass the layer-mask fast path and the sink
 //                   registry the flight recorder and attribution rely on.
+//   telemetry-probe member calls of `probe(...)` in src/ outside src/obs/
+//                   must resolve through the Telemetry registry on the same
+//                   line (`obs->telemetry().probe("name", ...)`). Ad-hoc
+//                   sampling state in sim layers would not flip live with
+//                   --telemetry, never export, and dodge the imbalance
+//                   analytics and the attribution cross-check.
 //   include-hygiene headers must start with #pragma once; no "../" relative
 //                   includes; no <bits/...> internals.
 //
@@ -330,6 +336,23 @@ void lintFile(const fs::path& path) {
                  "direct emit() bypasses the Observability hub; use "
                  "begin/end/complete/message/counterSample and register "
                  "sinks with Observability::addSink");
+      }
+      // telemetry-probe: sampled series come from the shared registry; a
+      // resolution site must name `telemetry` on the same line so the probe
+      // is provably registry-owned (and flips live with --telemetry).
+      if (scope.inSrc && !scope.inObs && ident == "probe" &&
+          !allowedRule("telemetry-probe")) {
+        const char prev = lastNonSpaceBefore(code, pos);
+        std::size_t after = pos + ident.size();
+        while (after < code.size() && code[after] == ' ') ++after;
+        const bool memberCall =
+            (prev == '.' || prev == '>') &&
+            after < code.size() && code[after] == '(';
+        if (memberCall && code.find("telemetry") == std::string::npos)
+          report(name, lineNo, "telemetry-probe",
+                 "probe() must be resolved from the Telemetry registry on "
+                 "this line (obs->telemetry().probe(...)); ad-hoc sampling "
+                 "state bypasses --telemetry and the imbalance analytics");
       }
       // wall-clock: host time / libc randomness in deterministic code.
       if (scope.inSrc && kWallClockIdents.count(ident) != 0 &&
