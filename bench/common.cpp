@@ -1,9 +1,11 @@
 #include "common.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -13,6 +15,7 @@
 #include "obs/attr.hpp"
 #include "obs/critpath.hpp"
 #include "obs/flightrec.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -28,6 +31,10 @@ std::string gCritPathPath;
 std::string gTelemetryPath;
 double gTelemetryDt = 0.0;  // 0 = Telemetry::kDefaultDt
 std::size_t gFlightRecEvents = 0;
+bool gOpTraceEnabled = false;
+std::string gOpTracePath;
+std::uint32_t gOpTraceSampleEvery = 0;  // 0 = OpTracer::kDefaultSampleEvery
+std::string gObsDir;
 // Captured by obsInit for the run manifests written next to each artifact.
 std::string gBenchName;
 std::vector<std::string> gCmdArgs;
@@ -113,6 +120,8 @@ void writeManifest(const std::string& artifactPath, const char* artifact,
   flag("--attr", !gAttrPath.empty());
   flag("--critpath", !gCritPathPath.empty());
   flag("--telemetry", !gTelemetryPath.empty());
+  flag("--optrace", gOpTraceEnabled);
+  flag("--obs-dir", !gObsDir.empty());
   flag("--flightrec", gFlightRecEvents > 0);
   std::fprintf(f, "],\n  \"args\": [");
   for (std::size_t i = 0; i < gCmdArgs.size(); ++i)
@@ -161,6 +170,27 @@ void obsInit(int argc, char** argv) {
       const double dt = std::strtod(a + 12, nullptr);
       gTelemetryDt = dt > 0 ? dt : 0.0;
       gTelemetryPath = argv[++i];
+    } else if (std::strcmp(a, "--optrace") == 0) {
+      gOpTraceEnabled = true;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        gOpTracePath = argv[++i];
+    } else if (std::strncmp(a, "--optrace=", 10) == 0) {
+      // --optrace=RATE [file]: RATE > 1 means "every Nth request"; RATE in
+      // (0, 1] is a sampling probability converted to the nearest 1-in-N.
+      gOpTraceEnabled = true;
+      const double rate = std::strtod(a + 10, nullptr);
+      if (rate > 1.0) {
+        gOpTraceSampleEvery = static_cast<std::uint32_t>(std::lround(rate));
+      } else if (rate > 0.0) {
+        gOpTraceSampleEvery = static_cast<std::uint32_t>(
+            std::max(1.0, std::round(1.0 / rate)));
+      }
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        gOpTracePath = argv[++i];
+    } else if (std::strcmp(a, "--obs-dir") == 0 && i + 1 < argc) {
+      gObsDir = argv[++i];
+    } else if (std::strncmp(a, "--obs-dir=", 10) == 0) {
+      gObsDir = a + 10;
     } else if (std::strcmp(a, "--flightrec") == 0) {
       gFlightRecEvents = obs::FlightRecorder::kDefaultEvents;
     } else if (std::strncmp(a, "--flightrec=", 12) == 0) {
@@ -179,6 +209,28 @@ void obsInit(int argc, char** argv) {
         gSimCheckMode = sim::SimCheckMode::kOn;
       }
     }
+  }
+  if (!gObsDir.empty()) {
+    // One directory for the whole observability suite: every artifact not
+    // explicitly pointed elsewhere lands in DIR with a conventional name
+    // (explicit flags win over the derived paths).
+    std::error_code ec;
+    std::filesystem::create_directories(gObsDir, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: --obs-dir: cannot create %s: %s\n",
+                   gObsDir.c_str(), ec.message().c_str());
+      std::exit(2);
+    }
+    const auto derive = [&](std::string& path, const char* name) {
+      if (path.empty()) path = gObsDir + "/" + name;
+    };
+    derive(gTracePath, "trace.json");
+    derive(gMetricsPath, "metrics.json");
+    derive(gAttrPath, "attr.json");
+    derive(gCritPathPath, "critpath.json");
+    derive(gTelemetryPath, "telemetry.json");
+    gOpTraceEnabled = true;
+    derive(gOpTracePath, "optrace.json");
   }
 }
 
@@ -230,7 +282,7 @@ bool perfFlush() {
 
 void attachObs(iolib::SimStack& stack) {
   if (gTracePath.empty() && gMetricsPath.empty() && gAttrPath.empty() &&
-      gCritPathPath.empty() && gTelemetryPath.empty() &&
+      gCritPathPath.empty() && gTelemetryPath.empty() && !gOpTraceEnabled &&
       gFlightRecEvents == 0)
     return;
   const int n = ++gStacksAttached;
@@ -297,6 +349,17 @@ void attachObs(iolib::SimStack& stack) {
                  "[obs] sampled telemetry (dt=%.3gs) to %s and %s\n",
                  stack.obs.telemetry().bucketDt(), json.c_str(), csv.c_str());
     artifacts.emplace_back("telemetry", json);
+  }
+  if (gOpTraceEnabled) {
+    const std::string json =
+        gOpTracePath.empty() ? std::string() : numbered(gOpTracePath, n);
+    if (!json.empty()) requireWritable("--optrace", json);
+    stack.obs.attachOpTrace(gOpTraceSampleEvery, -1, json);
+    std::fprintf(stderr, "[obs] op tracing on (sampling 1 in %u)%s%s\n",
+                 stack.obs.opTracer()->sampleEvery(),
+                 json.empty() ? "" : ", report to ",
+                 json.c_str());
+    if (!json.empty()) artifacts.emplace_back("optrace", json);
   }
   for (const auto& [kind, path] : artifacts) writeManifest(path, kind, np, n);
   if (gFlightRecEvents > 0) {

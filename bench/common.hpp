@@ -63,6 +63,21 @@ std::string secs(double seconds);
 ///                      --timeline` for utilization heatmaps and
 ///                      server-imbalance stats. Announce lines go to
 ///                      stderr; figure stdout is byte-identical.
+///   --optrace[=RATE] [file]
+///                      per-request causal tracing (obs/optrace.hpp): every
+///                      checkpoint write op carries a span context from the
+///                      issuing rank down to the DDN commit. RATE > 1 keeps
+///                      every RATE-th waterfall, RATE in (0,1] is a sampling
+///                      probability (default 1 in 64; the slowest requests
+///                      are always kept). With a file, the hop-percentile
+///                      tables, lineage trees, and tail waterfalls are
+///                      exported as JSON for `trace_report --waterfall`.
+///                      Announce lines go to stderr; figure stdout is
+///                      byte-identical with tracing on.
+///   --obs-dir DIR      derive every observability artifact path not given
+///                      explicitly (trace/metrics/attr/critpath/telemetry/
+///                      optrace + their manifests) as DIR/<artifact>.json,
+///                      creating DIR first. Explicit flags win.
 ///   --flightrec[=N]    keep a flight recorder of the last N (default 256)
 ///                      trace events per layer per stack; SimChecker
 ///                      violations and failed SHAPE CHECKs dump it to stderr

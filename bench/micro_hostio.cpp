@@ -6,9 +6,16 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
 
 #include "hostio/host_checkpoint.hpp"
 #include "iofmt/file_io.hpp"
+#include "obs/attr.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/optrace.hpp"
 
 namespace {
 
@@ -80,5 +87,90 @@ void BM_HostRbIo(benchmark::State& state) {
 BENCHMARK(BM_Host1Pfpp)->Arg(256 << 10)->Iterations(25);
 BENCHMARK(BM_HostCoIo)->Arg(256 << 10)->Iterations(25);
 BENCHMARK(BM_HostRbIo)->Arg(256 << 10)->Iterations(25);
+
+std::optional<obs::json::Value> parseJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  return obs::json::parse(text);
+}
+
+// Observability on the real-file backend: rbIO at host scale with per-rank
+// causal tracing and blocked-time attribution, asserting both artifacts
+// are produced and schema-valid (the obs suites otherwise only exercise
+// the simulated mpisim figures).
+void BM_HostObsArtifacts(benchmark::State& state) {
+  const auto dir = benchDir();
+  std::filesystem::create_directories(dir);
+  constexpr int kRanks = 8;
+  constexpr int kNf = 2;
+  constexpr int kGroupSize = kRanks / kNf;
+  hostio::HostSpec spec;
+  spec.fieldNames = {"Ex", "Ey", "Ez", "Hx", "Hy", "Hz"};
+  spec.fieldBytesPerRank = static_cast<std::uint64_t>(state.range(0));
+  std::vector<hostio::HostRankData> data(kRanks);
+  for (auto& r : data)
+    r.fields.assign(6, std::vector<std::byte>(spec.fieldBytesPerRank,
+                                              std::byte{0x33}));
+  const std::string attrJson = (dir / "attr.json").string();
+  const std::string optraceJson = (dir / "optrace.json").string();
+  const std::uint64_t perRankBytes = 6 * spec.fieldBytesPerRank;
+  int step = 0;
+  for (auto _ : state) {
+    obs::Observability obs;
+    auto attr = std::make_shared<obs::AttributionSink>();
+    attr->exportTo(attrJson, "");
+    obs.addSink(attr);
+    obs::OpTraceSink& sink = obs.attachOpTrace(/*sampleEvery=*/1);
+    sink.exportTo(optraceJson);
+
+    spec.directory = (dir / std::to_string(step++)).string();
+    hostio::HostConfig config{hostio::HostStrategy::kRbIo, kNf};
+    config.tracer = obs.opTracer();
+    const auto result = hostio::writeCheckpoint(spec, config, data);
+
+    // Replay each rank's measured envelope into the attribution engine:
+    // the wall time a rank spent inside the checkpoint is its blocked
+    // time, split into the handoff (workers) or the write (writers).
+    for (int r = 0; r < kRanks; ++r) {
+      const double end = result.perRankSeconds[static_cast<std::size_t>(r)];
+      const bool isWriter = r % kGroupSize == 0;
+      obs.begin(obs::Layer::kApp, r, "checkpoint", 0.0);
+      obs.completeBytes(obs::Layer::kIo, r, isWriter ? "write" : "send", 0.0,
+                        end, perRankBytes);
+      obs.end(obs::Layer::kApp, r, "checkpoint", end);
+    }
+    obs.finalize(result.wallSeconds);
+
+    const auto attrDoc = parseJsonFile(attrJson);
+    if (!attrDoc || !attrDoc->isObject() ||
+        attrDoc->find("totals") == nullptr ||
+        attrDoc->find("ranks") == nullptr ||
+        attrDoc->numberOr("horizon_seconds", 0) <= 0) {
+      state.SkipWithError("attribution artifact missing or malformed");
+      break;
+    }
+    const auto optraceDoc = parseJsonFile(optraceJson);
+    if (!optraceDoc ||
+        optraceDoc->stringOr("schema", "") != obs::OpTracer::kSchemaVersion) {
+      state.SkipWithError("optrace artifact missing or schema-invalid");
+      break;
+    }
+    const obs::OpTracer& tracer = sink.tracer();
+    // One "host" request per rank; every worker block linked into its
+    // writer's aggregate (fan-in = groupSize - 1 workers per writer).
+    if (tracer.minted() != kRanks || tracer.completed() != kRanks ||
+        tracer.lineageEdges() != kRanks - kNf ||
+        tracer.fanIn().median() != kGroupSize - 1) {
+      state.SkipWithError("optrace lineage does not match the rbIO fan-in");
+      break;
+    }
+    benchmark::DoNotOptimize(result.bandwidth);
+  }
+  state.SetBytesProcessed(state.iterations() * kRanks * 6 * state.range(0));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_HostObsArtifacts)->Arg(64 << 10)->Iterations(5);
 
 }  // namespace

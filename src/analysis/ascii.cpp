@@ -150,4 +150,55 @@ std::string heatmap(const std::vector<std::string>& rowLabels,
   return out.str();
 }
 
+std::string waterfall(const std::vector<WaterfallSpan>& spans, double t0,
+                      double t1, int width) {
+  if (spans.empty()) return "  (no spans)\n";
+  const double window = t1 - t0;
+  std::vector<std::size_t> order(spans.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return spans[a].start < spans[b].start;
+                   });
+  std::size_t labelWidth = 3;
+  for (const auto& s : spans) labelWidth = std::max(labelWidth, s.label.size());
+
+  std::ostringstream out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  %-*s %10s %10s  |%-*s|\n",
+                static_cast<int>(labelWidth), "hop", "+start", "dur", width,
+                " 0 .. e2e");
+  out << buf;
+  for (const std::size_t i : order) {
+    const WaterfallSpan& s = spans[i];
+    // Column range of this span inside the request window.
+    int c0 = 0, c1 = 0;
+    if (window > 0) {
+      c0 = static_cast<int>((s.start - t0) / window *
+                            static_cast<double>(width));
+      c1 = static_cast<int>((s.start + s.dur - t0) / window *
+                            static_cast<double>(width));
+      c0 = std::clamp(c0, 0, width - 1);
+      c1 = std::clamp(c1, c0, width);
+    }
+    std::string bar(static_cast<std::size_t>(width), ' ');
+    if (c1 == c0) {
+      bar[static_cast<std::size_t>(c0)] = '.';
+    } else {
+      for (int c = c0; c < c1; ++c) bar[static_cast<std::size_t>(c)] = '=';
+    }
+    std::snprintf(buf, sizeof(buf), "  %-*s %10.4g %10.4g  |%s|",
+                  static_cast<int>(labelWidth), s.label.c_str(), s.start - t0,
+                  s.dur, bar.c_str());
+    out << buf;
+    if (s.bytes > 0) {
+      std::snprintf(buf, sizeof(buf), " %.3g MiB",
+                    static_cast<double>(s.bytes) / (1024.0 * 1024.0));
+      out << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 }  // namespace bgckpt::analysis

@@ -3,6 +3,7 @@
 // and multi-series columns (the nf sweep).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,5 +41,20 @@ std::string heatmap(const std::vector<std::string>& rowLabels,
                     const std::vector<std::vector<double>>& rows,
                     double binSeconds, const std::string& valueLabel,
                     int width = 72);
+
+/// One span row of a request waterfall (trace_report --waterfall).
+struct WaterfallSpan {
+  std::string label;
+  double start = 0;  // absolute simulated seconds
+  double dur = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Hop waterfall for one traced request: one row per span, with a bar
+/// positioned inside the request's [t0, t1] window so queueing gaps and
+/// overlap are visible at a glance. Spans render in start order; zero-width
+/// spans mark their position with a single tick.
+std::string waterfall(const std::vector<WaterfallSpan>& spans, double t0,
+                      double t1, int width = 56);
 
 }  // namespace bgckpt::analysis

@@ -97,7 +97,8 @@ ParallelFsSim::Directory& ParallelFsSim::directoryOf(const std::string& path) {
   return directories_.try_emplace(directoryName(path), sched_).first->second;
 }
 
-sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
+sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path,
+                                            obs::OpTraceContext otc) {
   const sim::SimTime opStart = sched_.now();
   auto& dir = directoryOf(path);
   // Function-ship the request to the ION, then serialise on the directory.
@@ -134,6 +135,7 @@ sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
   }
   image_.file(path);  // touch
   ++creates_;
+  otc.hop(obs::Hop::kFsCreate, opStart, sched_.now());
   if (obs_) {
     if (tCreates_) tCreates_->add(1.0);
     mCreateLatency_->add(sched_.now() - opStart);
@@ -144,7 +146,8 @@ sim::Task<FileHandle> ParallelFsSim::create(int rank, std::string path) {
   co_return std::make_shared<OpenFile>(std::move(path), std::move(state));
 }
 
-sim::Task<FileHandle> ParallelFsSim::open(int rank, std::string path) {
+sim::Task<FileHandle> ParallelFsSim::open(int rank, std::string path,
+                                          obs::OpTraceContext otc) {
   const sim::SimTime opStart = sched_.now();
   auto it = files_.find(path);
   if (it == files_.end())
@@ -157,6 +160,7 @@ sim::Task<FileHandle> ParallelFsSim::open(int rank, std::string path) {
     sim::ScopedTokens hold(state->metanode, 1);
     co_await sched_.delay(config_.openCost);
   }
+  otc.hop(obs::Hop::kFsOpen, opStart, sched_.now());
   if (obs_) {
     mOpenLatency_->add(sched_.now() - opStart);
     if (obs_->tracing(obs::Layer::kFilesystem))
@@ -168,7 +172,8 @@ sim::Task<FileHandle> ParallelFsSim::open(int rank, std::string path) {
 
 sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
                                  std::uint64_t offset, sim::Bytes len,
-                                 std::span<const std::byte> data) {
+                                 std::span<const std::byte> data,
+                                 obs::OpTraceContext otc) {
   if (!fh || !fh->state_) throw std::runtime_error("fssim: write on bad handle");
   if (len == 0) co_return;
   auto state = fh->state_;
@@ -209,6 +214,7 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
       // The whole negotiation — queueing on the token server plus the op
       // and revocation costs — is lock-manager wait, not data transfer;
       // blocked-time attribution separates it from the write proper.
+      otc.hop(obs::Hop::kTokenWait, tokenStart, sched_.now());
       if (obs_)
         obs_->complete(obs::Layer::kFilesystem, rank, "token_wait", tokenStart,
                        sched_.now());
@@ -229,13 +235,16 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
       state->lastExtender = rank;
       state->sizeCommitted = std::max(state->sizeCommitted, offset + len);
     }
-    if (sched_.now() > sizeStart && obs_)
-      obs_->complete(obs::Layer::kFilesystem, rank, "token_wait", sizeStart,
-                     sched_.now());
+    if (sched_.now() > sizeStart) {
+      otc.hop(obs::Hop::kTokenWait, sizeStart, sched_.now());
+      if (obs_)
+        obs_->complete(obs::Layer::kFilesystem, rank, "token_wait", sizeStart,
+                       sched_.now());
+    }
   }
 
   // 3. Data path, block by block.
-  co_await writeBlocks(rank, state, offset, len);
+  co_await writeBlocks(rank, state, offset, len, otc);
 
   image_.file(state->path).recordWrite({offset, len}, data);
   ++writes_;
@@ -249,7 +258,8 @@ sim::Task<> ParallelFsSim::write(int rank, const FileHandle& fh,
 
 sim::Task<> ParallelFsSim::writeBlocks(int rank,
                                        std::shared_ptr<FileState> state,
-                                       std::uint64_t offset, sim::Bytes len) {
+                                       std::uint64_t offset, sim::Bytes len,
+                                       obs::OpTraceContext otc) {
   // Stream identity: this client writing this file. Sequential per-client
   // block writes (writeBehindDepth == 1 models GPFS-over-ciod behaviour
   // observed on BG/P: each 4 MiB block is shipped and acknowledged in turn).
@@ -262,15 +272,16 @@ sim::Task<> ParallelFsSim::writeBlocks(int rank,
     const std::uint64_t blockEnd = (block + 1) * config_.blockSize;
     const sim::Bytes chunk = std::min<std::uint64_t>(end, blockEnd) - cursor;
     const int server = serverOfBlock(*state, block);
-    co_await ion_.forward(rank, chunk);
+    co_await ion_.forward(rank, chunk, otc);
     co_await fabric_.write(server, stream, chunk,
-                           config_.writeStreamBandwidth);
+                           config_.writeStreamBandwidth, otc);
     cursor += chunk;
   }
 }
 
 sim::Task<> ParallelFsSim::read(int rank, const FileHandle& fh,
-                                std::uint64_t offset, sim::Bytes len) {
+                                std::uint64_t offset, sim::Bytes len,
+                                obs::OpTraceContext otc) {
   if (!fh || !fh->state_) throw std::runtime_error("fssim: read on bad handle");
   auto state = fh->state_;
   const stor::StreamId stream =
@@ -282,13 +293,15 @@ sim::Task<> ParallelFsSim::read(int rank, const FileHandle& fh,
     const std::uint64_t blockEnd = (block + 1) * config_.blockSize;
     const sim::Bytes chunk = std::min<std::uint64_t>(end, blockEnd) - cursor;
     const int server = serverOfBlock(*state, block);
-    co_await fabric_.read(server, stream, chunk, config_.readStreamBandwidth);
-    co_await ion_.forward(rank, chunk);  // data flows down to the pset
+    co_await fabric_.read(server, stream, chunk, config_.readStreamBandwidth,
+                          otc);
+    co_await ion_.forward(rank, chunk, otc);  // data flows down to the pset
     cursor += chunk;
   }
 }
 
-sim::Task<> ParallelFsSim::close(int rank, const FileHandle& fh) {
+sim::Task<> ParallelFsSim::close(int rank, const FileHandle& fh,
+                                 obs::OpTraceContext otc) {
   if (!fh || !fh->state_) co_return;
   auto state = fh->state_;
   const sim::SimTime opStart = sched_.now();
@@ -304,6 +317,7 @@ sim::Task<> ParallelFsSim::close(int rank, const FileHandle& fh) {
     sim::ScopedTokens hold(state->metanode, 1);
     co_await sched_.delay(config_.closeCost);
   }
+  otc.hop(obs::Hop::kFsClose, opStart, sched_.now());
   if (obs_) {
     mCloseLatency_->add(sched_.now() - opStart);
     if (obs_->tracing(obs::Layer::kFilesystem))

@@ -32,6 +32,7 @@
 #include "fssim/token.hpp"
 #include "machine/bgp.hpp"
 #include "netsim/ion.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/obs.hpp"
 #include "simcore/random.hpp"
@@ -104,18 +105,24 @@ class ParallelFsSim {
                 std::uint64_t seed, FsConfig config,
                 obs::Observability* obs = nullptr);
 
-  /// Create a new file (directory insert + inode init).
-  sim::Task<FileHandle> create(int rank, std::string path);
+  /// Create a new file (directory insert + inode init). A live `otc`
+  /// (propagated by value from the issuing strategy) receives the metadata,
+  /// token-wait, and downstream ION/storage hop spans on every operation.
+  sim::Task<FileHandle> create(int rank, std::string path,
+                               obs::OpTraceContext otc = {});
   /// Open an existing file.
-  sim::Task<FileHandle> open(int rank, std::string path);
+  sim::Task<FileHandle> open(int rank, std::string path,
+                             obs::OpTraceContext otc = {});
   /// Write [offset, offset+len); optional payload records real content.
   sim::Task<> write(int rank, const FileHandle& fh, std::uint64_t offset,
-                    sim::Bytes len, std::span<const std::byte> data = {});
+                    sim::Bytes len, std::span<const std::byte> data = {},
+                    obs::OpTraceContext otc = {});
   /// Read [offset, offset+len).
   sim::Task<> read(int rank, const FileHandle& fh, std::uint64_t offset,
-                   sim::Bytes len);
+                   sim::Bytes len, obs::OpTraceContext otc = {});
   /// Close: release tokens, commit metadata.
-  sim::Task<> close(int rank, const FileHandle& fh);
+  sim::Task<> close(int rank, const FileHandle& fh,
+                    obs::OpTraceContext otc = {});
 
   const FsConfig& config() const { return config_; }
   FsImage& image() { return image_; }
@@ -138,7 +145,8 @@ class ParallelFsSim {
   int serverOfBlock(const detail::FileState& fs,
                     std::uint64_t blockIndex) const;
   sim::Task<> writeBlocks(int rank, std::shared_ptr<detail::FileState> state,
-                          std::uint64_t offset, sim::Bytes len);
+                          std::uint64_t offset, sim::Bytes len,
+                          obs::OpTraceContext otc);
 
   sim::Scheduler& sched_;
   const machine::Machine& mach_;

@@ -23,17 +23,25 @@ double seconds(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
 }
 
+/// One rbIO/two-phase handoff: the worker's block plus its trace context,
+/// so the writer can link the block into its aggregate's lineage.
+struct Package {
+  int rank = 0;
+  const HostRankData* data = nullptr;
+  obs::OpTraceContext trace;
+};
+
 /// Simple MPSC handoff queue for rbIO worker -> writer packages.
 class PackageQueue {
  public:
-  void push(int rank, const HostRankData* data) {
+  void push(Package pkg) {
     {
       std::lock_guard lock(mu_);
-      items_.emplace_back(rank, data);
+      items_.push_back(pkg);
     }
     cv_.notify_one();
   }
-  std::pair<int, const HostRankData*> pop() {
+  Package pop() {
     std::unique_lock lock(mu_);
     cv_.wait(lock, [this] { return !items_.empty(); });
     auto item = items_.front();
@@ -44,7 +52,7 @@ class PackageQueue {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::pair<int, const HostRankData*>> items_;
+  std::deque<Package> items_;
 };
 
 iofmt::FileSpec makeFileSpec(const HostSpec& spec, int part, int ranksInFile,
@@ -128,10 +136,26 @@ HostRunResult writeCheckpoint(const HostSpec& spec, const HostConfig& config,
   std::barrier gate(np);
   const auto t0 = Clock::now();
 
+  // The OpTracer is single-threaded state shared by N real threads here;
+  // every tracer touch goes through this mutex. Timestamps are wall
+  // seconds since t0 (the coordinated start), the host analogue of
+  // simulated time.
+  std::mutex traceMu;
+  const std::uint64_t payloadPerRank =
+      static_cast<std::uint64_t>(numFields) * spec.fieldBytesPerRank;
+
   auto rankBody = [&](int rank) {
     gate.arrive_and_wait();  // coordinated checkpoint start
     const auto start = Clock::now();
     const int group = rank / groupSize;
+    obs::OpTraceContext otc;
+    if (config.tracer != nullptr) {
+      std::lock_guard lock(traceMu);
+      // srclint:allow(optrace-mint): hostio is a strategy-level backend; its rank writes originate here
+      otc = obs::mintOpTrace(config.tracer, rank, "host",
+                             static_cast<std::uint64_t>(rank) * payloadPerRank,
+                             payloadPerRank, seconds(t0, start));
+    }
     switch (config.strategy) {
       case HostStrategy::k1Pfpp: {
         iofmt::CheckpointWriter writer(
@@ -142,6 +166,13 @@ HostRunResult writeCheckpoint(const HostSpec& spec, const HostConfig& config,
                             data[static_cast<std::size_t>(rank)]
                                 .fields[static_cast<std::size_t>(f)]);
         writer.close();
+        if (otc.live()) {
+          std::lock_guard lock(traceMu);
+          const double end = seconds(t0, Clock::now());
+          otc.hop(obs::Hop::kHostWrite, seconds(t0, start), end,
+                  payloadPerRank);
+          otc.complete(end);
+        }
         break;
       }
       case HostStrategy::kCoIo: {
@@ -151,14 +182,27 @@ HostRunResult writeCheckpoint(const HostSpec& spec, const HostConfig& config,
           writer.writeBlock(f, local,
                             data[static_cast<std::size_t>(rank)]
                                 .fields[static_cast<std::size_t>(f)]);
+        if (otc.live()) {
+          std::lock_guard lock(traceMu);
+          const double end = seconds(t0, Clock::now());
+          otc.hop(obs::Hop::kHostWrite, seconds(t0, start), end,
+                  payloadPerRank);
+          otc.complete(end);
+        }
         break;
       }
       case HostStrategy::kCoIoTwoPhase: {
         const bool isAggregator = rank % groupSize == 0;
         if (!isAggregator) {
           queues[static_cast<std::size_t>(group)].push(
-              rank, &data[static_cast<std::size_t>(rank)]);
-          // Collective: block until the group's file is on disk.
+              Package{rank, &data[static_cast<std::size_t>(rank)], otc});
+          if (otc.live()) {
+            std::lock_guard lock(traceMu);
+            otc.hop(obs::Hop::kHandoffSend, seconds(t0, start),
+                    seconds(t0, Clock::now()), payloadPerRank);
+          }
+          // Collective: block until the group's file is on disk. The
+          // aggregator cascade-completes this rank's trace at commit.
           auto& gd = groupDone[static_cast<std::size_t>(group)];
           std::unique_lock lock(gd.mu);
           gd.cv.wait(lock, [&gd] { return gd.done; });
@@ -172,13 +216,24 @@ HostRunResult writeCheckpoint(const HostSpec& spec, const HostConfig& config,
                             data[static_cast<std::size_t>(rank)]
                                 .fields[static_cast<std::size_t>(f)]);
         for (int received = 1; received < groupSize; ++received) {
-          auto [srcRank, pkg] = queues[static_cast<std::size_t>(group)].pop();
-          const int local = srcRank % groupSize;
+          auto pkg = queues[static_cast<std::size_t>(group)].pop();
+          const int local = pkg.rank % groupSize;
           for (int f = 0; f < numFields; ++f)
             writer.writeBlock(f, local,
-                              pkg->fields[static_cast<std::size_t>(f)]);
+                              pkg.data->fields[static_cast<std::size_t>(f)]);
+          if (otc.live()) {
+            std::lock_guard lock(traceMu);
+            otc.link(pkg.trace);
+          }
         }
         writer.close();
+        if (otc.live()) {
+          std::lock_guard lock(traceMu);
+          const double end = seconds(t0, Clock::now());
+          otc.hop(obs::Hop::kHostWrite, seconds(t0, start), end,
+                  payloadPerRank * static_cast<std::uint64_t>(groupSize));
+          otc.complete(end);
+        }
         {
           auto& gd = groupDone[static_cast<std::size_t>(group)];
           std::lock_guard lock(gd.mu);
@@ -191,9 +246,16 @@ HostRunResult writeCheckpoint(const HostSpec& spec, const HostConfig& config,
         const bool isWriter = rank % groupSize == 0;
         if (!isWriter) {
           queues[static_cast<std::size_t>(group)].push(
-              rank, &data[static_cast<std::size_t>(rank)]);
+              Package{rank, &data[static_cast<std::size_t>(rank)], otc});
           handoff[static_cast<std::size_t>(rank)] =
               seconds(start, Clock::now());
+          if (otc.live()) {
+            std::lock_guard lock(traceMu);
+            // Perceived cost only; the block's journey ends when the
+            // writer's aggregate commit cascade-completes it.
+            otc.hop(obs::Hop::kHandoffSend, seconds(t0, start),
+                    seconds(t0, Clock::now()), payloadPerRank);
+          }
           break;  // the worker is done: reduced blocking
         }
         iofmt::CheckpointWriter writer(
@@ -205,13 +267,24 @@ HostRunResult writeCheckpoint(const HostSpec& spec, const HostConfig& config,
                             data[static_cast<std::size_t>(rank)]
                                 .fields[static_cast<std::size_t>(f)]);
         for (int received = 1; received < groupSize; ++received) {
-          auto [srcRank, pkg] = queues[static_cast<std::size_t>(group)].pop();
-          const int local = srcRank % groupSize;
+          auto pkg = queues[static_cast<std::size_t>(group)].pop();
+          const int local = pkg.rank % groupSize;
           for (int f = 0; f < numFields; ++f)
             writer.writeBlock(f, local,
-                              pkg->fields[static_cast<std::size_t>(f)]);
+                              pkg.data->fields[static_cast<std::size_t>(f)]);
+          if (otc.live()) {
+            std::lock_guard lock(traceMu);
+            otc.link(pkg.trace);
+          }
         }
         writer.close();
+        if (otc.live()) {
+          std::lock_guard lock(traceMu);
+          const double end = seconds(t0, Clock::now());
+          otc.hop(obs::Hop::kHostWrite, seconds(t0, start), end,
+                  payloadPerRank * static_cast<std::uint64_t>(groupSize));
+          otc.complete(end);
+        }
         break;
       }
     }

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/optrace.hpp"
+
 namespace bgckpt::hostio {
 
 struct HostSpec {
@@ -40,6 +42,12 @@ struct HostConfig {
   HostStrategy strategy = HostStrategy::kRbIo;
   /// Output files (1PFPP ignores this; rbIO uses one writer per file).
   int nf = 1;
+  /// Optional per-request causal tracing (obs/optrace.hpp): each rank's
+  /// host write mints a context and records kHostWrite / handoff hops,
+  /// with timestamps in wall seconds since the coordinated start. The
+  /// tracer is single-threaded state; hostio serialises its calls behind
+  /// an internal mutex, so the real-thread backend can share one tracer.
+  obs::OpTracer* tracer = nullptr;
 };
 
 /// One rank's state: fields[f] holds fieldBytesPerRank bytes.

@@ -32,6 +32,9 @@ Task<> localCheckpointRank(Comm world, LocalState& ls) {
 
   co_await world.barrier();
   const double t0 = sched.now();
+  auto otc = obs::mintOpTrace(
+      ls.stack->obs.opTracer(), rank, "local",
+      static_cast<std::uint64_t>(rank) * bytes, bytes, sched.now());
 
   // Level 1a: serialise onto the node's RAM disk (shared device).
   const auto node = static_cast<std::size_t>(
@@ -39,8 +42,10 @@ Task<> localCheckpointRank(Comm world, LocalState& ls) {
   co_await ls.ramDisk[node]->acquire();
   {
     sim::ScopedTokens hold(*ls.ramDisk[node], 1);
+    const sim::SimTime writeStart = sched.now();
     co_await sched.delay(ls.cfg->localLatency +
                          sim::transferTime(bytes, ls.cfg->localBandwidth));
+    otc.hop(obs::Hop::kLocalWrite, writeStart, sched.now(), bytes);
   }
 
   // Level 1b: mirror to the +x torus neighbour's RAM disk.
@@ -48,18 +53,22 @@ Task<> localCheckpointRank(Comm world, LocalState& ls) {
     const int ranksPerNode = mach.ranksPerNode();
     const int partner =
         (rank + ranksPerNode) % world.size();  // same core, next node
+    mpi::Message mirror = mpi::Message::ofSize(bytes);
+    mirror.trace = otc;  // the mirror hop joins this rank's waterfall
     mpi::Request req =
-        co_await world.isend(partner, kPartnerTag,
-                             mpi::Message::ofSize(bytes));
+        co_await world.isend(partner, kPartnerTag, std::move(mirror));
     (void)req;
     // Receive the mirror destined for us and store it locally.
     co_await world.recv(mpi::kAnySource, kPartnerTag);
     co_await ls.ramDisk[node]->acquire();
     {
       sim::ScopedTokens hold(*ls.ramDisk[node], 1);
+      const sim::SimTime mirrorStart = sched.now();
       co_await sched.delay(sim::transferTime(bytes, ls.cfg->localBandwidth));
+      otc.hop(obs::Hop::kLocalWrite, mirrorStart, sched.now(), bytes);
     }
   }
+  otc.complete(sched.now());
   ls.perRank[static_cast<std::size_t>(rank)] = sched.now() - t0;
 }
 

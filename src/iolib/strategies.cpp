@@ -111,32 +111,45 @@ Task<> run1Pfpp(Comm world, RunState& st) {
           ? spec.directory + "/r" + std::to_string(rank) + "/s" +
                 std::to_string(spec.step)
           : checkpointPath(spec, rank);
+  auto* tracer = obs->opTracer();
   obs::IoOpSpan createOp(obs, sched, rank, "create");
-  auto fh = co_await fsys.create(client, path);
+  auto createOtc = obs::mintOpTrace(tracer, rank, "create", 0, 0, sched.now());
+  auto fh = co_await fsys.create(client, path, createOtc);
+  createOtc.complete(sched.now());
   createOp.stop();
 
   {
     obs::IoOpSpan hdrOp(obs, sched, rank, "write");
+    auto otc = obs::mintOpTrace(tracer, rank, "write", 0, spec.headerBytes,
+                                sched.now());
     co_await fsys.write(client, fh, 0, spec.headerBytes,
                         spec.carryPayload ? std::span<const std::byte>(header)
-                                          : std::span<const std::byte>());
+                                          : std::span<const std::byte>(),
+                        otc);
+    otc.complete(sched.now());
     hdrOp.stop(spec.headerBytes);
   }
 
   for (int f = 0; f < spec.numFields; ++f) {
     obs::IoOpSpan writeOp(obs, sched, rank, "write");
+    auto otc = obs::mintOpTrace(tracer, rank, "write", layout.fieldOffset(f, 0),
+                                spec.fieldBytesPerRank, sched.now());
     co_await fsys.write(
         client, fh, layout.fieldOffset(f, 0), spec.fieldBytesPerRank,
         spec.carryPayload
             ? slice(payload,
                     static_cast<std::uint64_t>(f) * spec.fieldBytesPerRank,
                     spec.fieldBytesPerRank)
-            : std::span<const std::byte>());
+            : std::span<const std::byte>(),
+        otc);
+    otc.complete(sched.now());
     writeOp.stop(spec.fieldBytesPerRank);
   }
 
   obs::IoOpSpan closeOp(obs, sched, rank, "close");
-  co_await fsys.close(client, fh);
+  auto closeOtc = obs::mintOpTrace(tracer, rank, "close", 0, 0, sched.now());
+  co_await fsys.close(client, fh, closeOtc);
+  closeOtc.complete(sched.now());
   closeOp.stop();
 }
 
@@ -162,32 +175,45 @@ Task<> runCoIo(Comm world, RunState& st) {
   io::MpiFile file = co_await io::MpiFile::open(
       sub, fsys, checkpointPath(spec, part), st.cfg.hints);
 
+  auto* tracer = obs->opTracer();
+
   // Header round: group-local rank 0 contributes the master header.
   {
     obs::IoOpSpan op(obs, sched, rank, "write");
     const bool isRoot = sub.rank() == 0;
+    auto otc = obs::mintOpTrace(tracer, rank, "write", 0,
+                                isRoot ? spec.headerBytes : 0, sched.now());
     co_await file.writeAtAll(0, isRoot ? spec.headerBytes : 0,
                              (isRoot && spec.carryPayload)
                                  ? std::span<const std::byte>(header)
-                                 : std::span<const std::byte>());
+                                 : std::span<const std::byte>(),
+                             otc);
+    otc.complete(sched.now());
     op.stop(sub.rank() == 0 ? spec.headerBytes : 0);
   }
 
   // One collective round per field, committed in file order.
   for (int f = 0; f < spec.numFields; ++f) {
     obs::IoOpSpan op(obs, sched, rank, "write");
+    auto otc = obs::mintOpTrace(tracer, rank, "write",
+                                layout.fieldOffset(f, sub.rank()),
+                                spec.fieldBytesPerRank, sched.now());
     co_await file.writeAtAll(
         layout.fieldOffset(f, sub.rank()), spec.fieldBytesPerRank,
         spec.carryPayload
             ? slice(payload,
                     static_cast<std::uint64_t>(f) * spec.fieldBytesPerRank,
                     spec.fieldBytesPerRank)
-            : std::span<const std::byte>());
+            : std::span<const std::byte>(),
+        otc);
+    otc.complete(sched.now());
     op.stop(spec.fieldBytesPerRank);
   }
 
   obs::IoOpSpan closeOp(obs, sched, rank, "close");
-  co_await file.close();
+  auto closeOtc = obs::mintOpTrace(tracer, rank, "close", 0, 0, sched.now());
+  co_await file.close(closeOtc);
+  closeOtc.complete(sched.now());
   closeOp.stop();
 }
 
@@ -205,6 +231,13 @@ Task<> rbIoWorker(Comm world, RunState& st, int writerRank) {
   if (spec.carryPayload)
     package.payload = std::make_shared<const std::vector<std::byte>>(
         makeRankPayload(spec, world.globalRank(rank)));
+  // The handoff request rides the package to the writer and is completed by
+  // the cascade when the writer's aggregate commit lands — its end-to-end
+  // latency is "rank write to DDN commit", not just the isend.
+  package.trace = obs::mintOpTrace(
+      obs->opTracer(), rank, "handoff",
+      static_cast<std::uint64_t>(rank) * spec.bytesPerRank(),
+      spec.bytesPerRank(), sched.now());
 
   // The worker's entire blocking I/O cost: one nonblocking send.
   obs->begin(obs::Layer::kIo, rank, "handoff", sched.now());
@@ -231,6 +264,22 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
   const int g = st.cfg.groupSize;
   const bool independent = st.cfg.nf != 1;
 
+  // The writer's aggregate request: covers recv + reorder + commit, with
+  // the group's handoff requests linked as lineage children (64:1 fan-in).
+  auto* tracer = obs->opTracer();
+  const sim::Bytes groupBytes =
+      static_cast<sim::Bytes>(g) * spec.bytesPerRank();
+  auto commitOtc = obs::mintOpTrace(
+      tracer, rank, "commit",
+      static_cast<std::uint64_t>(group) * groupBytes, groupBytes, sched.now());
+  // The writer's own block never crosses the network but is still one of
+  // the 64 merged inputs; minting it keeps the fan-in count honest.
+  commitOtc.link(obs::mintOpTrace(
+      tracer, rank, "handoff",
+      static_cast<std::uint64_t>(rank) * spec.bytesPerRank(),
+      spec.bytesPerRank(), sched.now()));
+  const sim::SimTime recvStart = sched.now();
+
   // Gather the group's packages (the writer's own data needs no send).
   std::map<int, std::shared_ptr<const std::vector<std::byte>>> packages;
   if (spec.carryPayload)
@@ -242,6 +291,7 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
     obs::IoOpSpan op(obs, sched, rank, "recv");
     for (int i = 1; i < g; ++i) {
       Message msg = co_await world.recv(mpi::kAnySource, st.packageTag);
+      commitOtc.link(msg.trace);
       st.tHandoff->add(-1.0);
       st.tAggBuffer->add(static_cast<double>(spec.bytesPerRank()));
       if (spec.carryPayload)
@@ -251,10 +301,9 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
   }
 
   // Reorder the group's blocks into field-major file order (a local copy).
-  const sim::Bytes groupBytes =
-      static_cast<sim::Bytes>(g) * spec.bytesPerRank();
   co_await sched.delay(sim::transferTime(
       groupBytes, world.machine().compute().memoryBandwidth));
+  commitOtc.hop(obs::Hop::kHandoffRecv, recvStart, sched.now(), groupBytes);
 
   // Assemble real file content when carrying payloads.
   GroupFileLayout groupLayout(spec, g);
@@ -285,7 +334,7 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
     // buffer lets it batch multiple fields per flush.
     const std::string path = checkpointPath(spec, group);
     obs::IoOpSpan createOp(obs, sched, rank, "create");
-    auto fh = co_await fsys.create(client, path);
+    auto fh = co_await fsys.create(client, path, commitOtc);
     createOp.stop();
 
     const sim::Bytes total = groupLayout.fileBytes();
@@ -298,7 +347,8 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
       co_await fsys.write(client, fh, cursor, chunk,
                           spec.carryPayload
                               ? slice(fileBytes, cursor, chunk)
-                              : std::span<const std::byte>());
+                              : std::span<const std::byte>(),
+                          commitOtc);
       op.stop(chunk);
       cursor += chunk;
       const double drained = std::min(buffered, static_cast<double>(chunk));
@@ -308,14 +358,14 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
     st.tAggBuffer->add(-buffered);
 
     obs::IoOpSpan closeOp(obs, sched, rank, "close");
-    co_await fsys.close(client, fh);
+    co_await fsys.close(client, fh, commitOtc);
     closeOp.stop();
   } else {
     // nf == 1: writers jointly commit one shared file with collective
     // nonblocking writes; each field must land before the next starts.
     GroupFileLayout globalLayout(spec, world.size());
     io::MpiFile file = co_await io::MpiFile::open(
-        writerComm, fsys, checkpointPath(spec, 0), st.cfg.hints);
+        writerComm, fsys, checkpointPath(spec, 0), st.cfg.hints, commitOtc);
     std::vector<std::byte> header;
     if (spec.carryPayload) header = makeHeaderPayload(spec, 0);
     {
@@ -324,7 +374,8 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
       co_await file.writeAtAll(0, isRoot ? spec.headerBytes : 0,
                                (isRoot && spec.carryPayload)
                                    ? std::span<const std::byte>(header)
-                                   : std::span<const std::byte>());
+                                   : std::span<const std::byte>(),
+                               commitOtc);
       op.stop(isRoot ? spec.headerBytes : 0);
     }
     std::vector<std::byte> section;
@@ -350,7 +401,8 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
       co_await file.writeAtAll(
           globalLayout.fieldOffset(f, group * g), sectionBytes,
           spec.carryPayload ? std::span<const std::byte>(section)
-                            : std::span<const std::byte>());
+                            : std::span<const std::byte>(),
+          commitOtc);
       op.stop(sectionBytes);
       const double drained =
           std::min(buffered, static_cast<double>(sectionBytes));
@@ -359,10 +411,13 @@ Task<> rbIoWriter(Comm world, Comm writerComm, RunState& st) {
     }
     st.tAggBuffer->add(-buffered);
     obs::IoOpSpan closeOp(obs, sched, rank, "close");
-    co_await file.close();
+    co_await file.close(commitOtc);
     closeOp.stop();
   }
   obs->end(obs::Layer::kIo, rank, "commit", sched.now());
+  // Completes the whole lineage: the 63 handed-off blocks (plus the
+  // writer's own) end their journey the instant the aggregate commits.
+  commitOtc.complete(sched.now());
 }
 
 // --------------------------------------------------------------- driver --

@@ -120,7 +120,8 @@ std::vector<int> chooseAggregators(const mpi::Comm& comm, const Hints& hints) {
 }
 
 sim::Task<MpiFile> MpiFile::open(mpi::Comm comm, fs::ParallelFsSim& fsys,
-                                 std::string path, Hints hints) {
+                                 std::string path, Hints hints,
+                                 obs::OpTraceContext otc) {
   std::shared_ptr<Shared> shared;
   if (comm.rank() == 0) {
     shared = std::make_shared<Shared>();
@@ -131,45 +132,55 @@ sim::Task<MpiFile> MpiFile::open(mpi::Comm comm, fs::ParallelFsSim& fsys,
     for (int a : shared->aggregators)
       shared->isAgg[static_cast<std::size_t>(a)] = true;
     if (!fsys.image().exists(path)) {
-      auto fh = co_await fsys.create(comm.globalRank(0), path);
-      co_await fsys.close(comm.globalRank(0), fh);
+      auto fh = co_await fsys.create(comm.globalRank(0), path, otc);
+      co_await fsys.close(comm.globalRank(0), fh, otc);
     }
   }
   mpi::Message m;
   m.size = 64;  // a tiny metadata broadcast
   m.box = shared;
+  const sim::SimTime bcastStart = comm.scheduler().now();
   m = co_await comm.bcast(0, m);
+  otc.hop(obs::Hop::kCollective, bcastStart, comm.scheduler().now());
   shared = std::static_pointer_cast<Shared>(m.box);
 
   MpiFile file(comm, &fsys, shared);
   const bool opensNow =
       !hints.deferredOpen ||
       shared->isAgg[static_cast<std::size_t>(comm.rank())];
-  if (opensNow) co_await file.ensureFsHandle();
+  if (opensNow) co_await file.ensureFsHandle(otc);
+  const sim::SimTime barrierStart = comm.scheduler().now();
   co_await comm.barrier();
+  otc.hop(obs::Hop::kCollective, barrierStart, comm.scheduler().now());
   co_return file;
 }
 
-sim::Task<> MpiFile::ensureFsHandle() {
-  if (!fsHandle_) fsHandle_ = co_await fsys_->open(myFsClientId(), shared_->path);
+sim::Task<> MpiFile::ensureFsHandle(obs::OpTraceContext otc) {
+  if (!fsHandle_)
+    fsHandle_ = co_await fsys_->open(myFsClientId(), shared_->path, otc);
 }
 
 sim::Task<> MpiFile::writeAt(std::uint64_t offset, sim::Bytes len,
-                             std::span<const std::byte> data) {
-  co_await ensureFsHandle();
-  co_await fsys_->write(myFsClientId(), fsHandle_, offset, len, data);
+                             std::span<const std::byte> data,
+                             obs::OpTraceContext otc) {
+  co_await ensureFsHandle(otc);
+  co_await fsys_->write(myFsClientId(), fsHandle_, offset, len, data, otc);
 }
 
-sim::Task<> MpiFile::readAt(std::uint64_t offset, sim::Bytes len) {
-  co_await ensureFsHandle();
-  co_await fsys_->read(myFsClientId(), fsHandle_, offset, len);
+sim::Task<> MpiFile::readAt(std::uint64_t offset, sim::Bytes len,
+                            obs::OpTraceContext otc) {
+  co_await ensureFsHandle(otc);
+  co_await fsys_->read(myFsClientId(), fsHandle_, offset, len, otc);
 }
 
 sim::Task<> MpiFile::writeAtAll(std::uint64_t offset, sim::Bytes len,
-                                std::span<const std::byte> data) {
+                                std::span<const std::byte> data,
+                                obs::OpTraceContext otc) {
   const int round = round_++;
+  const sim::SimTime gatherStart = comm_.scheduler().now();
   auto offsets = co_await comm_.allGatherU64Shared(offset);
   auto lens = co_await comm_.allGatherU64Shared(len);
+  otc.hop(obs::Hop::kCollective, gatherStart, comm_.scheduler().now());
 
   Shared& sh = *shared_;
   if (sh.meta.round != round)
@@ -188,6 +199,7 @@ sim::Task<> MpiFile::writeAtAll(std::uint64_t offset, sim::Bytes len,
       mpi::Message piece;
       piece.size = pieceEnd - cursor;
       piece.meta = cursor;
+      piece.trace = otc;  // the contributor's context rides with the data
       if (!data.empty()) {
         auto bytes = std::make_shared<std::vector<std::byte>>(
             data.begin() + static_cast<std::ptrdiff_t>(cursor - offset),
@@ -224,13 +236,14 @@ sim::Task<> MpiFile::writeAtAll(std::uint64_t offset, sim::Bytes len,
       pieces.reserve(static_cast<std::size_t>(expected));
       for (int i = 0; i < expected; ++i) {
         mpi::Message msg = co_await comm_.recv(mpi::kAnySource, tag);
+        otc.link(msg.trace);  // 32:1 (or nf-dependent) fan-in lineage
         pieces.push_back({msg.meta, msg.size, msg.payload});
       }
       std::sort(pieces.begin(), pieces.end(),
                 [](const Piece& a, const Piece& b) {
                   return a.offset < b.offset;
                 });
-      co_await ensureFsHandle();
+      co_await ensureFsHandle(otc);
       // Coalesce contiguous pieces into runs; commit runs chunk by chunk.
       std::size_t i = 0;
       while (i < pieces.size()) {
@@ -261,7 +274,7 @@ sim::Task<> MpiFile::writeAtAll(std::uint64_t offset, sim::Bytes len,
             chunkData = std::span<const std::byte>(
                 runBytes.data() + (cursor - runLo), chunkEnd - cursor);
           co_await fsys_->write(myFsClientId(), fsHandle_, cursor,
-                                chunkEnd - cursor, chunkData);
+                                chunkEnd - cursor, chunkData, otc);
           cursor = chunkEnd;
         }
       }
@@ -269,15 +282,19 @@ sim::Task<> MpiFile::writeAtAll(std::uint64_t offset, sim::Bytes len,
   }
 
   // Phase 3: collective completion.
+  const sim::SimTime barrierStart = comm_.scheduler().now();
   co_await comm_.barrier();
+  otc.hop(obs::Hop::kCollective, barrierStart, comm_.scheduler().now());
 }
 
-sim::Task<> MpiFile::close() {
+sim::Task<> MpiFile::close(obs::OpTraceContext otc) {
   if (fsHandle_) {
-    co_await fsys_->close(myFsClientId(), fsHandle_);
+    co_await fsys_->close(myFsClientId(), fsHandle_, otc);
     fsHandle_.reset();
   }
+  const sim::SimTime barrierStart = comm_.scheduler().now();
   co_await comm_.barrier();
+  otc.hop(obs::Hop::kCollective, barrierStart, comm_.scheduler().now());
 }
 
 bool MpiFile::isAggregator() const {

@@ -42,23 +42,31 @@ class MpiFile {
   /// Collective: every rank of `comm` calls this together. Creates the file
   /// when absent (rank 0 performs the create).
   static sim::Task<MpiFile> open(mpi::Comm comm, fs::ParallelFsSim& fsys,
-                                 std::string path, Hints hints = {});
+                                 std::string path, Hints hints = {},
+                                 obs::OpTraceContext otc = {});
 
-  /// Independent write at an explicit offset (MPI_File_write_at).
+  /// Independent write at an explicit offset (MPI_File_write_at). A live
+  /// `otc` (minted by the issuing strategy) rides by value through the
+  /// filesystem, ION, and storage layers, collecting hop spans.
   sim::Task<> writeAt(std::uint64_t offset, sim::Bytes len,
-                      std::span<const std::byte> data = {});
+                      std::span<const std::byte> data = {},
+                      obs::OpTraceContext otc = {});
 
   /// Collective write (MPI_File_write_at_all_begin/_end pair). Every rank
   /// of the communicator participates; ranks with len == 0 contribute
-  /// nothing but still synchronise.
+  /// nothing but still synchronise. Each Phase-1 piece carries the
+  /// contributor's `otc` over the torus; aggregators link the received
+  /// contexts as lineage children of their own before committing.
   sim::Task<> writeAtAll(std::uint64_t offset, sim::Bytes len,
-                         std::span<const std::byte> data = {});
+                         std::span<const std::byte> data = {},
+                         obs::OpTraceContext otc = {});
 
   /// Independent read at an explicit offset.
-  sim::Task<> readAt(std::uint64_t offset, sim::Bytes len);
+  sim::Task<> readAt(std::uint64_t offset, sim::Bytes len,
+                     obs::OpTraceContext otc = {});
 
   /// Collective close.
-  sim::Task<> close();
+  sim::Task<> close(obs::OpTraceContext otc = {});
 
   bool isAggregator() const;
   int numAggregators() const;
@@ -70,7 +78,7 @@ class MpiFile {
           std::shared_ptr<Shared> shared)
       : comm_(comm), fsys_(fsys), shared_(std::move(shared)) {}
 
-  sim::Task<> ensureFsHandle();
+  sim::Task<> ensureFsHandle(obs::OpTraceContext otc = {});
   int myFsClientId() const { return comm_.globalRank(comm_.rank()); }
 
   mpi::Comm comm_;

@@ -133,7 +133,7 @@ sim::Task<> transferAndDeliver(std::shared_ptr<Group> g, int src, int dst,
   const int srcGlobal = g->globalRanks[static_cast<std::size_t>(src)];
   const int dstGlobal = g->globalRanks[static_cast<std::size_t>(dst)];
   const sim::SimTime sendTime = g->sched.now();
-  co_await g->torus.transfer(srcGlobal, dstGlobal, msg.size);
+  co_await g->torus.transfer(srcGlobal, dstGlobal, msg.size, msg.trace);
   if (g->obs)
     g->obs->message(srcGlobal, dstGlobal, msg.size, sendTime,
                     g->sched.now());
@@ -201,8 +201,10 @@ sim::Task<Request> Comm::isend(int dst, int tag, Message msg) {
   // The call itself: MPI software overhead plus a heavy-tailed jitter
   // (interrupts, allocation, retransmit slots). This is what a worker
   // "perceives" when shipping its checkpoint block to a writer.
+  const sim::SimTime callStart = g.sched.now();
   co_await g.sched.delay(g.mach.compute().mpiOverhead +
                          g.jitter->lognormal(7e-6, 0.8));
+  msg.trace.hop(obs::Hop::kHandoffSend, callStart, g.sched.now(), msg.size);
   auto gate = std::make_shared<sim::Gate>(g.sched);
   g.sched.spawn(
       detail::transferAndDeliver(group_, rank_, dst, std::move(msg), gate));

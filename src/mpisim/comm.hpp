@@ -24,6 +24,7 @@
 #include "machine/bgp.hpp"
 #include "netsim/torus.hpp"
 #include "obs/obs.hpp"
+#include "obs/optrace.hpp"
 #include "simcore/channel.hpp"
 #include "simcore/random.hpp"
 #include "simcore/scheduler.hpp"
@@ -47,6 +48,11 @@ struct Message {
   /// collective open broadcasting its shared file object). Carries no
   /// simulated bytes; `size` governs timing.
   std::shared_ptr<void> box;
+  /// Per-request span context riding the message by value: the sender's
+  /// checkpoint block keeps its identity across the torus so the receiver
+  /// (rbIO writer, mpiio aggregator) can link it into the aggregate write
+  /// it lands in. Null (the default) when tracing is off.
+  obs::OpTraceContext trace;
 
   /// Convenience: a payload-less message of `n` simulated bytes.
   static Message ofSize(sim::Bytes n) {

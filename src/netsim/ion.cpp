@@ -22,19 +22,23 @@ IonForwarding::IonForwarding(sim::Scheduler& sched,
   }
 }
 
-sim::Task<> IonForwarding::forward(int rank, sim::Bytes bytes) {
+sim::Task<> IonForwarding::forward(int rank, sim::Bytes bytes,
+                                   obs::OpTraceContext otc) {
   const auto pset = static_cast<std::size_t>(mach_.psetOfRank(rank));
   const int psetIdx = static_cast<int>(pset);
+  const sim::SimTime queueStart = sched_.now();
   if (tQueue_) tQueue_->add(psetIdx, 1.0);
   {
     auto link = co_await sim::ScopedTokens::take(uplink_[pset], 1);
     if (tQueue_) tQueue_->add(psetIdx, -1.0);
+    otc.hop(obs::Hop::kIonQueue, queueStart, sched_.now());
     if (tBusy_) tBusy_->add(psetIdx, 1.0);
     const sim::Duration busy =
         mach_.io().forwardingOverhead +
         sim::transferTime(bytes, mach_.io().ionUplinkBandwidth);
     const sim::SimTime start = sched_.now();
     co_await sched_.delay(busy);
+    otc.hop(obs::Hop::kIonForward, start, sched_.now(), bytes);
     if (obs_) {
       mRequests_->add();
       mBytes_->add(bytes);

@@ -12,6 +12,7 @@
 
 #include "machine/bgp.hpp"
 #include "obs/obs.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/scheduler.hpp"
@@ -26,8 +27,10 @@ class IonForwarding {
 
   /// Ship `bytes` of payload from `rank`'s pset up to the storage fabric
   /// (or down, for reads — the link is modelled symmetrically). Completes
-  /// when the ION has finished moving the data onto the Ethernet.
-  sim::Task<> forward(int rank, sim::Bytes bytes);
+  /// when the ION has finished moving the data onto the Ethernet. A live
+  /// `otc` receives the uplink queue-wait and forwarding hop spans.
+  sim::Task<> forward(int rank, sim::Bytes bytes,
+                      obs::OpTraceContext otc = {});
 
   /// Per-request software overhead of function shipping (no data).
   sim::Duration requestOverhead() const {

@@ -39,7 +39,8 @@ TorusNetwork::TorusNetwork(sim::Scheduler& sched,
 }
 
 sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
-                                   sim::Bytes bytes) {
+                                   sim::Bytes bytes,
+                                   obs::OpTraceContext otc) {
   const auto& cc = mach_.compute();
   const int srcNode = mach_.nodeOfRank(srcRank);
   const int dstNode = mach_.nodeOfRank(dstRank);
@@ -49,6 +50,7 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
     // Intra-node: a memory copy plus software overhead.
     co_await sched_.delay(cc.mpiOverhead +
                           sim::transferTime(bytes, cc.memoryBandwidth));
+    otc.hop(obs::Hop::kNetLocal, start, sched_.now(), bytes);
   } else {
     // Acquire/release ordering audit: the source NIC token is held only
     // across the serialisation delay and released (ScopedTokens scope ends)
@@ -76,10 +78,14 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
       if (mBusy_) mBusy_->add(busy);
       if (tInjectBusy_) tInjectBusy_->add(-1.0);
     }
+    otc.hop(obs::Hop::kNetInject, start, sched_.now(), bytes);
     // Flight time across the fabric.
+    const sim::SimTime flightStart = sched_.now();
     const int hops = mach_.torusHops(srcNode, dstNode);
     co_await sched_.delay(static_cast<double>(hops) * cc.torusHopLatency);
+    otc.hop(obs::Hop::kNetFlight, flightStart, sched_.now());
     // Receiver drain at the destination.
+    const sim::SimTime ejectStart = sched_.now();
     if (tEjectQueue_) tEjectQueue_->add(1.0);
     co_await ejection_[static_cast<std::size_t>(dstNode)].acquire();
     if (tEjectQueue_) tEjectQueue_->add(-1.0);
@@ -89,6 +95,7 @@ sim::Task<> TorusNetwork::transfer(int srcRank, int dstRank,
       co_await sched_.delay(sim::transferTime(bytes, drainBandwidth_));
       if (tEjectBusy_) tEjectBusy_->add(-1.0);
     }
+    otc.hop(obs::Hop::kNetEject, ejectStart, sched_.now(), bytes);
   }
 
   ++messages_;

@@ -14,6 +14,7 @@
 
 #include "machine/bgp.hpp"
 #include "obs/obs.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 #include "simcore/resource.hpp"
 #include "simcore/scheduler.hpp"
@@ -29,8 +30,11 @@ class TorusNetwork {
                obs::Observability* obs = nullptr);
 
   /// Move `bytes` from `srcRank` to `dstRank`; completes at delivery time
-  /// (when the receiver has drained the message).
-  sim::Task<> transfer(int srcRank, int dstRank, sim::Bytes bytes);
+  /// (when the receiver has drained the message). A live `otc` (the
+  /// sender's span context, riding by value) receives inject/flight/eject
+  /// hop spans.
+  sim::Task<> transfer(int srcRank, int dstRank, sim::Bytes bytes,
+                       obs::OpTraceContext otc = {});
 
   /// Latency of a zero-contention transfer (for tests and cost estimates).
   sim::Duration uncontendedLatency(int srcRank, int dstRank,

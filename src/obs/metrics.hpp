@@ -17,6 +17,12 @@
 
 namespace bgckpt::obs {
 
+/// Quote one CSV field per RFC 4180: fields containing a comma, a double
+/// quote, or a line break are wrapped in double quotes, with embedded
+/// quotes doubled. Anything else passes through unchanged. Every obs CSV
+/// exporter routes free-form name fields through this.
+std::string csvField(const std::string& field);
+
 class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }

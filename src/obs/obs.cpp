@@ -2,6 +2,7 @@
 
 #include "obs/attr.hpp"
 #include "obs/critpath.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 
 namespace bgckpt::obs {
@@ -184,6 +185,19 @@ TelemetrySink& Observability::attachTelemetry(sim::Scheduler& sched,
   if (!jsonPath.empty() || !csvPath.empty())
     telemetrySink_->exportTo(std::move(jsonPath), std::move(csvPath));
   return *telemetrySink_;
+}
+
+OpTraceSink& Observability::attachOpTrace(std::uint32_t sampleEvery,
+                                          int tailN, std::string jsonPath) {
+  if (!opTracer_) {
+    opTracer_ = std::make_unique<OpTracer>(
+        sampleEvery > 0 ? sampleEvery : OpTracer::kDefaultSampleEvery,
+        tailN >= 0 ? tailN : OpTracer::kDefaultTailN);
+    opTraceSink_ = std::make_shared<OpTraceSink>(*opTracer_);
+    addSink(opTraceSink_);
+  }
+  if (!jsonPath.empty()) opTraceSink_->exportTo(std::move(jsonPath));
+  return *opTraceSink_;
 }
 
 CritPathRecorder& Observability::attachCritPath(sim::Scheduler& sched,

@@ -25,6 +25,8 @@ class Observability;
 class CritPathRecorder;
 class Telemetry;
 class TelemetrySink;
+class OpTracer;
+class OpTraceSink;
 
 /// sim::SchedulerHooks implementation: counts dispatched events, tracks the
 /// event-queue high-water mark, and emits one span per root task on the
@@ -123,6 +125,19 @@ class Observability {
                                  std::string csvPath = "");
   TelemetrySink* telemetrySink() const { return telemetrySink_.get(); }
 
+  /// Start per-request causal tracing (obs/optrace.hpp): creates the
+  /// OpTracer (1-in-`sampleEvery` waterfall retention, `tailN` slowest
+  /// always kept) and registers an OpTraceSink so the tracer closes out and
+  /// exports its JSON (optional path) at finalize. Repeated calls return
+  /// the existing sink; a non-empty path on a later call updates the
+  /// export destination.
+  OpTraceSink& attachOpTrace(std::uint32_t sampleEvery = 0, int tailN = -1,
+                             std::string jsonPath = "");
+  /// The tracer for strategy-level minting; nullptr until attachOpTrace.
+  /// Layers never call this — they receive contexts by value.
+  OpTracer* opTracer() const { return opTracer_.get(); }
+  OpTraceSink* opTraceSink() const { return opTraceSink_.get(); }
+
   /// Convert accumulated busy-seconds gauges into utilization gauges over
   /// [0, horizon] and finalize + flush all sinks. Idempotent: the first
   /// call wins (later calls — e.g. the exportOnDestroy teardown after a
@@ -143,6 +158,8 @@ class Observability {
   std::shared_ptr<CritPathRecorder> critPath_;
   std::unique_ptr<Telemetry> telemetry_;
   std::shared_ptr<TelemetrySink> telemetrySink_;
+  std::unique_ptr<OpTracer> opTracer_;
+  std::shared_ptr<OpTraceSink> opTraceSink_;
   bool finalized_ = false;
   std::string metricsJsonPath_;
   std::string metricsCsvPath_;

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "simcore/simcheck.hpp"
 
 namespace bgckpt::obs {
@@ -419,7 +420,7 @@ std::string TelemetrySink::toCsv() const {
       const SeriesExport ex = exportSeries(*p, p->seriesAt(i), dt);
       for (std::size_t r = 0; r < ex.rows.size(); ++r) {
         const auto gi = ex.first + static_cast<std::int64_t>(r);
-        appendf(out, "%s,%s,%d,%lld,", p->name().c_str(),
+        appendf(out, "%s,%s,%d,%lld,", csvField(p->name()).c_str(),
                 probeKindName(p->kind()), i, static_cast<long long>(gi));
         appendNum(out, static_cast<double>(gi) * dt);
         for (double v : ex.rows[r]) {

@@ -48,24 +48,28 @@ StorageFabric::StorageFabric(sim::Scheduler& sched,
 
 sim::Task<> StorageFabric::write(int serverId, StreamId stream,
                                  sim::Bytes bytes,
-                                 sim::Bandwidth effectiveServerBandwidth) {
+                                 sim::Bandwidth effectiveServerBandwidth,
+                                 obs::OpTraceContext otc) {
   co_await service(serverId, stream, bytes, effectiveServerBandwidth,
-                   mach_.io().ddnWriteBandwidth);
+                   mach_.io().ddnWriteBandwidth, otc);
   bytesWritten_ += bytes;
   if (mBytes_) mBytes_->add(bytes);
 }
 
 sim::Task<> StorageFabric::read(int serverId, StreamId stream,
                                 sim::Bytes bytes,
-                                sim::Bandwidth effectiveServerBandwidth) {
+                                sim::Bandwidth effectiveServerBandwidth,
+                                obs::OpTraceContext otc) {
   co_await service(serverId, stream, bytes, effectiveServerBandwidth,
-                   mach_.io().ddnWriteBandwidth * 1.28);  // 60/47 read:write
+                   mach_.io().ddnWriteBandwidth * 1.28,  // 60/47 read:write
+                   otc);
 }
 
 sim::Task<> StorageFabric::service(int serverId, StreamId stream,
                                    sim::Bytes bytes,
                                    sim::Bandwidth serverRate,
-                                   sim::Bandwidth arrayRate) {
+                                   sim::Bandwidth arrayRate,
+                                   obs::OpTraceContext otc) {
   const double start = sched_.now();
   auto& server = servers_.at(static_cast<std::size_t>(serverId));
   auto& arrayPort = arrayPorts_[static_cast<std::size_t>(arrayOfServer(serverId))];
@@ -75,12 +79,15 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
   {
     auto hold = co_await sim::ScopedTokens::take(server, 1);
     if (tServerQueue_) tServerQueue_->add(serverId, -1.0);
+    otc.hop(obs::Hop::kServerQueue, start, sched_.now());
     if (tServerInflight_) tServerInflight_->add(serverId, 1.0);
     const double factor = noiseFactor();
     const sim::Duration busy =
         mach_.io().serverRequestOverhead * factor +
         sim::transferTime(bytes, serverRate) * factor;
+    const sim::SimTime serviceStart = sched_.now();
     co_await sched_.delay(busy);
+    otc.hop(obs::Hop::kServerService, serviceStart, sched_.now(), bytes);
     if (mServerBusy_) mServerBusy_->add(busy);
     if (tServerBytes_) tServerBytes_->add(serverId, static_cast<double>(bytes));
     if (tServerInflight_) tServerInflight_->add(serverId, -1.0);
@@ -89,12 +96,16 @@ sim::Task<> StorageFabric::service(int serverId, StreamId stream,
   // Stage 2: the backing DDN array commits the data. Eight servers share
   // one array, so this is where cross-server interference appears.
   {
+    const sim::SimTime arrayStart = sched_.now();
     auto hold = co_await sim::ScopedTokens::take(arrayPort, 1);
+    otc.hop(obs::Hop::kArrayQueue, arrayStart, sched_.now());
     const int arr = arrayOfServer(serverId);
     if (tArrayInflight_) tArrayInflight_->add(arr, 1.0);
     const sim::Duration busy =
         seekPenalty(stream) + sim::transferTime(bytes, arrayRate);
+    const sim::SimTime commitStart = sched_.now();
     co_await sched_.delay(busy);
+    otc.hop(obs::Hop::kDdnCommit, commitStart, sched_.now(), bytes);
     if (mArrayBusy_) mArrayBusy_->add(busy);
     if (tArrayInflight_) tArrayInflight_->add(arr, -1.0);
   }

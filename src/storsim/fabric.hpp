@@ -21,6 +21,7 @@
 
 #include "machine/bgp.hpp"
 #include "obs/obs.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 #include "simcore/random.hpp"
 #include "simcore/resource.hpp"
@@ -64,12 +65,16 @@ class StorageFabric {
   /// Service one write request of `bytes` for `stream` on `serverId`.
   /// `effectiveServerBandwidth` lets the filesystem layer express its own
   /// efficiency (GPFS software overhead) without changing the hardware.
+  /// A live `otc` receives the server queue/service and array queue/commit
+  /// hop spans.
   sim::Task<> write(int serverId, StreamId stream, sim::Bytes bytes,
-                    sim::Bandwidth effectiveServerBandwidth);
+                    sim::Bandwidth effectiveServerBandwidth,
+                    obs::OpTraceContext otc = {});
 
   /// Service one read request (reads use the read-side service rate).
   sim::Task<> read(int serverId, StreamId stream, sim::Bytes bytes,
-                   sim::Bandwidth effectiveServerBandwidth);
+                   sim::Bandwidth effectiveServerBandwidth,
+                   obs::OpTraceContext otc = {});
 
   int numServers() const { return mach_.io().numFileServers; }
   int numArrays() const { return mach_.io().numDdnArrays; }
@@ -86,7 +91,8 @@ class StorageFabric {
 
  private:
   sim::Task<> service(int serverId, StreamId stream, sim::Bytes bytes,
-                      sim::Bandwidth serverRate, sim::Bandwidth arrayRate);
+                      sim::Bandwidth serverRate, sim::Bandwidth arrayRate,
+                      obs::OpTraceContext otc);
   double noiseFactor();
   sim::Duration seekPenalty(StreamId stream);
   /// Drop streams idle past kStreamWindow (lazy, driven by touch records).

@@ -148,6 +148,107 @@ TEST(TraceReportCli, TimelineRejectsWrongManifestVersion) {
   EXPECT_NE(r.output.find("manifest schema"), std::string::npos) << r.output;
 }
 
+TEST(TraceReportCli, WaterfallModeRendersHopTableAndLineage) {
+  const auto r =
+      run(traceReport() + " --waterfall " + fixture("optrace_rbio.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("op trace:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("66560 requests minted, 66560 completed "
+                          "(0 unfinished)"),
+            std::string::npos)
+      << r.output;
+  // fig11 at np=65536, nf=1024: every writer aggregates exactly 64 blocks.
+  EXPECT_NE(r.output.find("fan-in min/p50/max = 64/64/64"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("server_queue"), std::string::npos);
+  EXPECT_NE(r.output.find("ddn_commit"), std::string::npos);
+  EXPECT_NE(r.output.find("tail waterfalls"), std::string::npos) << r.output;
+}
+
+// Acceptance: the hop table must localize >= 80% of the commit path's p99
+// end-to-end latency to the handoff / fs-server hops the paper blames.
+TEST(TraceReportCli, WaterfallLocalizesTailToPaperHops) {
+  const auto r =
+      run(traceReport() + " --waterfall " + fixture("optrace_rbio.json"));
+  ASSERT_EQ(r.exitCode, 0) << r.output;
+  const std::string key = "p99 localization (op commit): ";
+  const auto at = r.output.find(key);
+  ASSERT_NE(at, std::string::npos) << r.output;
+  const auto eq = r.output.find(" = ", at);
+  const auto pct = r.output.find("% of e2e p99", at);
+  ASSERT_NE(eq, std::string::npos) << r.output;
+  ASSERT_NE(pct, std::string::npos) << r.output;
+  EXPECT_GE(std::stod(r.output.substr(eq + 3, pct - eq - 3)), 80.0)
+      << r.output;
+  // Every hop named in the localization must be one the paper blames.
+  std::string hops = r.output.substr(at + key.size(), eq - at - key.size());
+  std::size_t pos = 0;
+  while (pos <= hops.size()) {
+    const auto plus = hops.find(" + ", pos);
+    const std::string hop = hops.substr(
+        pos, plus == std::string::npos ? std::string::npos : plus - pos);
+    EXPECT_TRUE(hop == "handoff_recv" || hop == "server_queue" ||
+                hop == "server_service")
+        << "unexpected hop in localization: " << hop;
+    if (plus == std::string::npos) break;
+    pos = plus + 3;
+  }
+}
+
+TEST(TraceReportCli, WaterfallReqRendersChosenRequest) {
+  const auto r = run(traceReport() + " --waterfall " +
+                     fixture("optrace_rbio.json") + " --req 36864");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("request 36864: op=handoff"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("handoff_send"), std::string::npos);
+  EXPECT_NE(r.output.find("net_inject"), std::string::npos);
+}
+
+TEST(TraceReportCli, WaterfallReqNotRetainedExitsOne) {
+  const auto r = run(traceReport() + " --waterfall " +
+                     fixture("optrace_rbio.json") + " --req 99999999");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("request 99999999 not retained"), std::string::npos)
+      << r.output;
+}
+
+TEST(TraceReportCli, WaterfallDiffComparesHopTables) {
+  const auto r =
+      run(traceReport() + " --waterfall " + fixture("optrace_rbio.json") +
+          " --diff " + fixture("optrace_coio.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("diff against"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("A p99"), std::string::npos);
+  EXPECT_NE(r.output.find("(e2e)"), std::string::npos);
+  EXPECT_NE(r.output.find("server_queue"), std::string::npos);
+}
+
+TEST(TraceReportCli, WaterfallRejectsWrongSchemaVersion) {
+  const auto r =
+      run(traceReport() + " --waterfall " + fixture("optrace_badschema.json"));
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("not supported"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, WaterfallRejectsWrongManifestVersion) {
+  const auto r = run(traceReport() + " --waterfall " +
+                     fixture("optrace_badmanifest.json"));
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("manifest schema"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, WaterfallReqUsageErrors) {
+  // --req only makes sense with --waterfall, and not alongside --diff.
+  EXPECT_EQ(run(traceReport() + " " + fixture("trace_coio.jsonl") + " --req 3")
+                .exitCode,
+            2);
+  EXPECT_EQ(run(traceReport() + " --waterfall " + fixture("optrace_rbio.json") +
+                " --diff " + fixture("optrace_coio.json") + " --req 3")
+                .exitCode,
+            2);
+}
+
 TEST(PerfCompareCli, PassesWhenEventsMatch) {
   const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
                      fixture("perf_same.json") + " --no-wall");

@@ -38,6 +38,13 @@
 //                   sampling state in sim layers would not flip live with
 //                   --telemetry, never export, and dodge the imbalance
 //                   analytics and the attribution cross-check.
+//   optrace-mint    mintOpTrace(...) in src/ outside src/obs/ and
+//                   src/iolib/. A causal-trace context is minted once at the
+//                   strategy layer and then propagated *by value*; a layer
+//                   that re-mints mid-path severs the request's lineage and
+//                   double-counts it in every percentile table. Backends
+//                   that legitimately originate requests (e.g. hostio)
+//                   carry an explicit allow with justification.
 //   include-hygiene headers must start with #pragma once; no "../" relative
 //                   includes; no <bits/...> internals.
 //
@@ -216,6 +223,7 @@ struct FileScope {
   bool inSrc = false;      // under src/
   bool inSimcore = false;  // under src/simcore/
   bool inObs = false;      // under src/obs/ (the hub may emit directly)
+  bool inIolib = false;    // under src/iolib/ (strategies mint op traces)
   bool isSchedulerCpp = false;
   bool isHeader = false;
 };
@@ -226,6 +234,7 @@ void lintFile(const fs::path& path) {
   scope.inSrc = name.find("src/") != std::string::npos;
   scope.inSimcore = name.find("src/simcore/") != std::string::npos;
   scope.inObs = name.find("src/obs/") != std::string::npos;
+  scope.inIolib = name.find("src/iolib/") != std::string::npos;
   scope.isSchedulerCpp = name.find("simcore/scheduler.cpp") != std::string::npos;
   scope.isHeader = path.extension() == ".hpp" || path.extension() == ".h";
 
@@ -354,6 +363,15 @@ void lintFile(const fs::path& path) {
                  "this line (obs->telemetry().probe(...)); ad-hoc sampling "
                  "state bypasses --telemetry and the imbalance analytics");
       }
+      // optrace-mint: causal-trace contexts are minted once at the
+      // strategy layer and propagated by value; a mid-path re-mint severs
+      // the request's lineage and double-counts it in the hop tables.
+      if (scope.inSrc && !scope.inObs && !scope.inIolib &&
+          ident == "mintOpTrace" && !allowedRule("optrace-mint"))
+        report(name, lineNo, "optrace-mint",
+               "mintOpTrace() is reserved for strategy-level code "
+               "(src/iolib, src/obs); layers below must propagate the "
+               "OpTraceContext they were given, never re-mint");
       // wall-clock: host time / libc randomness in deterministic code.
       if (scope.inSrc && kWallClockIdents.count(ident) != 0 &&
           !allowedRule("wall-clock"))

@@ -4,6 +4,7 @@
 //         trace_report --attr <events.jsonl> [--diff <other.jsonl>]
 //         trace_report --critpath <run.json> [--diff <other.json>]
 //         trace_report --timeline <telemetry.json> [--diff <other.json>]
+//         trace_report --waterfall <optrace.json> [--req ID | --diff <other>]
 //
 // Default mode reads the event log written alongside a Chrome trace by
 // `<bench> --trace <file>` (the `<file>.jsonl` twin), rebuilds the I/O
@@ -22,6 +23,12 @@
 // by `<bench> --telemetry <file>` as per-resource ASCII utilization
 // heatmaps plus server-imbalance stats (Jain's index, max/mean skew,
 // idle-while-busy); --diff prints an A/B table of totals and imbalance.
+// --waterfall renders the per-request causal-trace JSON written by
+// `<bench> --optrace <file>`: hop-percentile tables (global and per op),
+// the fan-in lineage summary, a p99-localization line, and ASCII hop
+// waterfalls for the retained tail (the N slowest requests) or, with
+// --req ID, for one chosen request; --diff compares the hop-percentile
+// tables of two runs (e.g. rbIO vs coIO).
 // Both the artifact's "schema" field and its "<file>.manifest.json"
 // sidecar (when present) must match this build's schema versions, else
 // exit 2.
@@ -41,6 +48,7 @@
 #include "analysis/ascii.hpp"
 #include "obs/attr.hpp"
 #include "obs/json.hpp"
+#include "obs/optrace.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "profiling/profile.hpp"
@@ -62,8 +70,10 @@ int usage(const char* argv0) {
                "       %s --attr <events.jsonl> [--diff <other.jsonl>]\n"
                "       %s --critpath <run.json> [--diff <other.json>]\n"
                "       %s --timeline <telemetry.json> [--diff <other.json>]"
-               " [--width N]\n",
-               argv0, argv0, argv0, argv0);
+               " [--width N]\n"
+               "       %s --waterfall <optrace.json> [--req ID |"
+               " --diff <other.json>]\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -436,6 +446,276 @@ int runTimelineMode(const char* pathA, const char* pathB, int width) {
   return 0;
 }
 
+// ----------------------------------------------------- --waterfall mode --
+
+struct HopRow {
+  std::string hop;
+  double requests = 0;
+  double total = 0;
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;
+};
+
+struct E2eStats {
+  double requests = 0;
+  double mean = 0, p50 = 0, p95 = 0, p99 = 0, max = 0;
+};
+
+struct OpTraceDoc {
+  Value doc;  // raw document; tail/sampled requests render from it
+  double sampleEvery = 1;
+  double horizon = 0;
+  E2eStats e2e;
+  std::vector<HopRow> hops;                              // global table
+  std::vector<std::pair<std::string, E2eStats>> opE2e;   // per-op e2e
+  std::vector<std::pair<std::string, std::vector<HopRow>>> opHops;
+};
+
+std::vector<HopRow> parseHopRows(const Value& parent) {
+  std::vector<HopRow> out;
+  const Value* arr = parent.find("hops");
+  if (arr == nullptr || !arr->isArray()) return out;
+  for (const Value& hv : *arr->array) {
+    if (!hv.isObject()) continue;
+    HopRow r;
+    r.hop = hv.stringOr("hop", "?");
+    r.requests = hv.numberOr("requests", 0);
+    r.total = hv.numberOr("total_seconds", 0);
+    r.p50 = hv.numberOr("p50", 0);
+    r.p95 = hv.numberOr("p95", 0);
+    r.p99 = hv.numberOr("p99", 0);
+    r.max = hv.numberOr("max", 0);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+E2eStats parseE2e(const Value& parent) {
+  E2eStats s;
+  const Value* ev = parent.find("e2e");
+  if (ev == nullptr || !ev->isObject()) return s;
+  s.requests = ev->numberOr("requests", 0);
+  s.mean = ev->numberOr("mean", 0);
+  s.p50 = ev->numberOr("p50", 0);
+  s.p95 = ev->numberOr("p95", 0);
+  s.p99 = ev->numberOr("p99", 0);
+  s.max = ev->numberOr("max", 0);
+  return s;
+}
+
+/// Load and validate one `--optrace` export, with the same schema +
+/// manifest-sidecar rules as loadTimeline.
+bool loadOpTrace(const char* path, OpTraceDoc* out) {
+  if (!loadJsonFile(path, &out->doc)) return false;
+  const std::string schema = out->doc.stringOr("schema", "(none)");
+  if (schema != bgckpt::obs::OpTracer::kSchemaVersion) {
+    std::fprintf(stderr,
+                 "trace_report: %s: optrace schema \"%s\" not supported "
+                 "(this build reads \"%s\")\n",
+                 path, schema.c_str(), bgckpt::obs::OpTracer::kSchemaVersion);
+    return false;
+  }
+  const std::string manifestPath = std::string(path) + ".manifest.json";
+  if (std::ifstream probe(manifestPath); probe) {
+    Value manifest;
+    if (!loadJsonFile(manifestPath.c_str(), &manifest)) return false;
+    const std::string mv = manifest.stringOr("schema_version", "(none)");
+    if (mv != bgckpt::obs::kManifestSchemaVersion) {
+      std::fprintf(stderr,
+                   "trace_report: %s: manifest schema \"%s\" not supported "
+                   "(this build reads \"%s\")\n",
+                   manifestPath.c_str(), mv.c_str(),
+                   bgckpt::obs::kManifestSchemaVersion);
+      return false;
+    }
+  }
+  out->sampleEvery = out->doc.numberOr("sample_every", 1);
+  out->horizon = out->doc.numberOr("horizon", 0);
+  out->e2e = parseE2e(out->doc);
+  out->hops = parseHopRows(out->doc);
+  if (const Value* ops = out->doc.find("ops"); ops && ops->isArray()) {
+    for (const Value& ov : *ops->array) {
+      if (!ov.isObject()) continue;
+      const std::string op = ov.stringOr("op", "?");
+      out->opE2e.emplace_back(op, parseE2e(ov));
+      out->opHops.emplace_back(op, parseHopRows(ov));
+    }
+  }
+  return true;
+}
+
+void printHopTable(const std::vector<HopRow>& hops) {
+  std::printf("%-14s %10s %12s %10s %10s %10s %10s\n", "hop", "requests",
+              "total-sec", "p50", "p95", "p99", "max");
+  for (const HopRow& r : hops)
+    std::printf("%-14s %10.0f %12.3f %10.4g %10.4g %10.4g %10.4g\n",
+                r.hop.c_str(), r.requests, r.total, r.p50, r.p95, r.p99,
+                r.max);
+}
+
+/// Print which hops dominate the e2e p99: the smallest prefix of hops
+/// (sorted by p99 contribution) whose per-request p99 totals cover >= 80%
+/// of the end-to-end p99, i.e. where the tail latency actually lives.
+void printLocalization(const std::string& scope,
+                       const std::vector<HopRow>& hops, double e2eP99) {
+  if (e2eP99 <= 0 || hops.empty()) return;
+  std::vector<const HopRow*> order;
+  for (const HopRow& r : hops) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const HopRow* a, const HopRow* b) {
+                     return a->p99 > b->p99;
+                   });
+  double cum = 0;
+  std::string names;
+  for (const HopRow* r : order) {
+    if (r->p99 <= 0) break;
+    cum += r->p99;
+    if (!names.empty()) names += " + ";
+    names += r->hop;
+    if (cum >= 0.8 * e2eP99 || names.size() > 60) break;
+  }
+  std::printf("p99 localization (%s): %s = %.0f%% of e2e p99 (%.4g s)\n",
+              scope.c_str(), names.c_str(), cum / e2eP99 * 100.0, e2eP99);
+}
+
+/// Render one traced request's hop waterfall from its exported spans.
+void renderRequest(const Value& req, int width) {
+  const double t0 = req.numberOr("t0", 0);
+  const double e2e = req.numberOr("e2e", 0);
+  std::printf("\nrequest %lld: op=%s rank=%d offset=%.0f bytes=%.0f "
+              "t0=%.4f e2e=%.6g s",
+              static_cast<long long>(req.numberOr("id", -1)),
+              req.stringOr("op", "?").c_str(),
+              static_cast<int>(req.numberOr("rank", -1)),
+              req.numberOr("offset", 0), req.numberOr("bytes", 0), t0, e2e);
+  if (const Value* fi = req.find("fan_in"); fi != nullptr)
+    std::printf(" fan-in=%d", static_cast<int>(fi->number));
+  if (const Value* pv = req.find("parent"); pv != nullptr)
+    std::printf(" parent=%lld", static_cast<long long>(pv->number));
+  if (req.find("unfinished") != nullptr) std::printf(" UNFINISHED");
+  std::printf("\n");
+  std::vector<bgckpt::analysis::WaterfallSpan> spans;
+  if (const Value* sv = req.find("spans"); sv && sv->isArray()) {
+    for (const Value& span : *sv->array) {
+      if (!span.isObject()) continue;
+      bgckpt::analysis::WaterfallSpan w;
+      w.label = span.stringOr("hop", "?");
+      w.start = span.numberOr("t0", 0);
+      w.dur = span.numberOr("dur", 0);
+      w.bytes = static_cast<std::uint64_t>(span.numberOr("bytes", 0));
+      spans.push_back(std::move(w));
+    }
+  }
+  std::printf("%s",
+              bgckpt::analysis::waterfall(spans, t0, t0 + e2e, width).c_str());
+}
+
+/// Find a retained request (tail first, then sampled) by trace id.
+const Value* findRequest(const Value& doc, long long id) {
+  for (const char* key : {"tail", "sampled"}) {
+    const Value* arr = doc.find(key);
+    if (arr == nullptr || !arr->isArray()) continue;
+    for (const Value& req : *arr->array) {
+      if (!req.isObject()) continue;
+      if (static_cast<long long>(req.numberOr("id", -1)) == id) return &req;
+    }
+  }
+  return nullptr;
+}
+
+/// Tail requests rendered by default; --req renders exactly one.
+constexpr int kDefaultWaterfalls = 3;
+
+int runWaterfallMode(const char* pathA, const char* pathB, long long reqId,
+                     int width) {
+  OpTraceDoc a;
+  if (!loadOpTrace(pathA, &a)) return 2;
+  std::printf("op trace: %s\n", pathA);
+  const Value* rv = a.doc.find("requests");
+  if (rv != nullptr && rv->isObject())
+    std::printf("%.0f requests minted, %.0f completed (%.0f unfinished), "
+                "sampled 1 in %.0f (%.0f kept)\n",
+                rv->numberOr("minted", 0), rv->numberOr("completed", 0),
+                rv->numberOr("unfinished", 0), a.sampleEvery,
+                rv->numberOr("sampled", 0));
+  std::printf("horizon %.3f s\n", a.horizon);
+  std::printf("e2e: mean %.4g, p50 %.4g, p95 %.4g, p99 %.4g, max %.4g s\n",
+              a.e2e.mean, a.e2e.p50, a.e2e.p95, a.e2e.p99, a.e2e.max);
+  if (const Value* lv = a.doc.find("lineage"); lv && lv->isObject()) {
+    const Value* fv = lv->find("fan_in");
+    std::printf("lineage: %.0f aggregates, %.0f edges, fan-in "
+                "min/p50/max = %.0f/%.0f/%.0f\n",
+                lv->numberOr("aggregates", 0), lv->numberOr("edges", 0),
+                fv != nullptr ? fv->numberOr("min", 0) : 0,
+                fv != nullptr ? fv->numberOr("p50", 0) : 0,
+                fv != nullptr ? fv->numberOr("max", 0) : 0);
+  }
+
+  if (pathB != nullptr) {
+    OpTraceDoc b;
+    if (!loadOpTrace(pathB, &b)) return 2;
+    std::printf("diff against: %s (e2e p50 %.4g, p99 %.4g s)\n", pathB,
+                b.e2e.p50, b.e2e.p99);
+    std::map<std::string, std::pair<const HopRow*, const HopRow*>> merged;
+    for (const HopRow& r : a.hops) merged[r.hop].first = &r;
+    for (const HopRow& r : b.hops) merged[r.hop].second = &r;
+    std::printf("\n%-14s %10s %10s %10s %10s %10s %11s\n", "hop", "A p50",
+                "B p50", "A p99", "B p99", "A-B p99", "A-B total");
+    for (const auto& [hop, ab] : merged) {
+      const HopRow* ra = ab.first;
+      const HopRow* rb = ab.second;
+      std::printf("%-14s %10.4g %10.4g %10.4g %10.4g %+10.4g %+11.4g\n",
+                  hop.c_str(), ra != nullptr ? ra->p50 : 0.0,
+                  rb != nullptr ? rb->p50 : 0.0, ra != nullptr ? ra->p99 : 0.0,
+                  rb != nullptr ? rb->p99 : 0.0,
+                  (ra != nullptr ? ra->p99 : 0.0) -
+                      (rb != nullptr ? rb->p99 : 0.0),
+                  (ra != nullptr ? ra->total : 0.0) -
+                      (rb != nullptr ? rb->total : 0.0));
+    }
+    std::printf("%-14s %10.4g %10.4g %10.4g %10.4g %+10.4g\n", "(e2e)",
+                a.e2e.p50, b.e2e.p50, a.e2e.p99, b.e2e.p99,
+                a.e2e.p99 - b.e2e.p99);
+    return 0;
+  }
+
+  std::printf("\nhop percentiles (per-request hop totals, seconds):\n");
+  printHopTable(a.hops);
+  for (const auto& [op, hops] : a.opHops) {
+    E2eStats opE2e;
+    for (const auto& [name, s] : a.opE2e)
+      if (name == op) opE2e = s;
+    std::printf("\nop \"%s\" (%.0f requests, e2e p50 %.4g, p99 %.4g s):\n",
+                op.c_str(), opE2e.requests, opE2e.p50, opE2e.p99);
+    printHopTable(hops);
+    printLocalization("op " + op, hops, opE2e.p99);
+  }
+  std::printf("\n");
+  printLocalization("all requests", a.hops, a.e2e.p99);
+
+  if (reqId >= 0) {
+    const Value* req = findRequest(a.doc, reqId);
+    if (req == nullptr) {
+      std::fprintf(stderr,
+                   "trace_report: request %lld not retained (tail or "
+                   "sampled) in %s\n",
+                   reqId, pathA);
+      return 1;
+    }
+    renderRequest(*req, width);
+    return 0;
+  }
+  if (const Value* tail = a.doc.find("tail"); tail && tail->isArray()) {
+    const auto n = std::min<std::size_t>(tail->array->size(),
+                                         kDefaultWaterfalls);
+    if (n > 0)
+      std::printf("\ntail waterfalls (%zu slowest of %zu retained):\n", n,
+                  tail->array->size());
+    for (std::size_t i = 0; i < n; ++i)
+      renderRequest((*tail->array)[i], width);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -443,7 +723,8 @@ int main(int argc, char** argv) {
   const char* diffPath = nullptr;
   int bins = 60;
   int width = 72;
-  enum class Mode { kSummary, kAttr, kCritPath, kTimeline } mode =
+  long long reqId = -1;
+  enum class Mode { kSummary, kAttr, kCritPath, kTimeline, kWaterfall } mode =
       Mode::kSummary;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bins") == 0 && i + 1 < argc) {
@@ -452,12 +733,17 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--width") == 0 && i + 1 < argc) {
       width = std::atoi(argv[++i]);
       if (width < 1) return usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--req") == 0 && i + 1 < argc) {
+      reqId = std::atoll(argv[++i]);
+      if (reqId < 0) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--attr") == 0) {
       mode = Mode::kAttr;
     } else if (std::strcmp(argv[i], "--critpath") == 0) {
       mode = Mode::kCritPath;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       mode = Mode::kTimeline;
+    } else if (std::strcmp(argv[i], "--waterfall") == 0) {
+      mode = Mode::kWaterfall;
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
       diffPath = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -468,9 +754,13 @@ int main(int argc, char** argv) {
   }
   if (!path) return usage(argv[0]);
   if (diffPath != nullptr && mode == Mode::kSummary) return usage(argv[0]);
+  if (reqId >= 0 && (mode != Mode::kWaterfall || diffPath != nullptr))
+    return usage(argv[0]);
   if (mode == Mode::kAttr) return runAttrMode(path, diffPath);
   if (mode == Mode::kCritPath) return runCritPathMode(path, diffPath);
   if (mode == Mode::kTimeline) return runTimelineMode(path, diffPath, width);
+  if (mode == Mode::kWaterfall)
+    return runWaterfallMode(path, diffPath, reqId, width);
 
   std::ifstream in(path);
   if (!in) {
