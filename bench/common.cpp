@@ -5,12 +5,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+
+#include "simcore/shard.hpp"
 
 #include "obs/attr.hpp"
 #include "obs/critpath.hpp"
@@ -39,18 +44,60 @@ std::string gObsDir;
 std::string gBenchName;
 std::vector<std::string> gCmdArgs;
 sim::SimCheckMode gSimCheckMode = sim::SimCheckMode::kAuto;
+unsigned gThreads = 1;
 int gStacksAttached = 0;
 // Keep attached recorders alive past their stacks so a SHAPE CHECK failure
 // at report time can still dump what each run was doing (the global
-// registry in obs/flightrec holds only weak references).
+// registry in obs/flightrec holds only weak references). Guarded: prefetch
+// workers attach concurrently.
+std::mutex gFlightRecMu;
 std::vector<std::shared_ptr<obs::FlightRecorder>> gFlightRecorders;
 
 struct PerfEntry {
   std::string label;
   double wallSeconds = 0.0;
   std::uint64_t events = 0;
+  unsigned threads = 1;
 };
 std::vector<PerfEntry> gPerfEntries;
+
+/// Completed-but-not-yet-consumed simulation points (see prefetchSims).
+/// Written single-threaded after the parallel phase, consumed by runSim.
+struct CachedRun {
+  iolib::CheckpointResult result;
+  std::string label;
+  double wallSeconds = 0.0;
+  std::uint64_t events = 0;
+};
+std::map<std::string, std::deque<CachedRun>> gSimCache;
+
+/// Cache key covering *every* field that changes simulated behaviour.
+/// StrategyConfig::describe() is presentation (it omits hints and buffer
+/// sizes), so it must not be the key.
+std::string pointKey(int np, const iolib::StrategyConfig& cfg,
+                     std::uint64_t seed) {
+  std::string key = std::to_string(np);
+  key += '|';
+  key += std::to_string(static_cast<int>(cfg.kind));
+  key += '|';
+  key += std::to_string(cfg.nf);
+  key += '|';
+  key += std::to_string(cfg.groupSize);
+  key += '|';
+  key += std::to_string(cfg.hints.bgpNodesPset);
+  key += '|';
+  key += std::to_string(cfg.hints.cbBufferSize);
+  key += '|';
+  key += cfg.hints.alignFileDomains ? '1' : '0';
+  key += cfg.hints.deferredOpen ? '1' : '0';
+  key += '|';
+  key += std::to_string(cfg.writerBuffer);
+  key += '|';
+  key += cfg.onePfppPrivateDirs ? '1' : '0';
+  key += '|';
+  key += std::to_string(seed);
+  return key;
+}
 
 std::string jsonEscape(const std::string& s) {
   std::string out;
@@ -197,6 +244,12 @@ void obsInit(int argc, char** argv) {
       const long n = std::strtol(a + 12, nullptr, 10);
       gFlightRecEvents = n > 0 ? static_cast<std::size_t>(n)
                                : obs::FlightRecorder::kDefaultEvents;
+    } else if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+      const long n = std::strtol(argv[++i], nullptr, 10);
+      gThreads = n > 1 ? static_cast<unsigned>(n) : 1;
+    } else if (std::strncmp(a, "--threads=", 10) == 0) {
+      const long n = std::strtol(a + 10, nullptr, 10);
+      gThreads = n > 1 ? static_cast<unsigned>(n) : 1;
     } else if (std::strcmp(a, "--simcheck") == 0) {
       gSimCheckMode = sim::SimCheckMode::kOn;
     } else if (std::strncmp(a, "--simcheck=", 11) == 0) {
@@ -236,10 +289,13 @@ void obsInit(int argc, char** argv) {
 
 sim::SimCheckMode simCheckMode() { return gSimCheckMode; }
 
+unsigned benchThreads() { return gThreads; }
+
 void perfRecord(const std::string& label, double wallSeconds,
-                std::uint64_t events) {
+                std::uint64_t events, unsigned threads) {
   if (gPerfJsonPath.empty()) return;
-  gPerfEntries.push_back(PerfEntry{label, wallSeconds, events});
+  gPerfEntries.push_back(
+      PerfEntry{label, wallSeconds, events, threads > 0 ? threads : gThreads});
 }
 
 bool perfFlush() {
@@ -259,9 +315,10 @@ bool perfFlush() {
                            ? static_cast<double>(e.events) / e.wallSeconds
                            : 0.0;
     std::fprintf(f,
-                 "    {\"label\": \"%s\", \"wall_seconds\": %.6f, "
+                 "    {\"label\": \"%s\", \"threads\": %u, "
+                 "\"wall_seconds\": %.6f, "
                  "\"events\": %llu, \"events_per_second\": %.0f}%s\n",
-                 jsonEscape(e.label).c_str(), e.wallSeconds,
+                 jsonEscape(e.label).c_str(), e.threads, e.wallSeconds,
                  static_cast<unsigned long long>(e.events), eps,
                  i + 1 < gPerfEntries.size() ? "," : "");
     totalWall += e.wallSeconds;
@@ -280,13 +337,23 @@ bool perfFlush() {
   return true;
 }
 
-void attachObs(iolib::SimStack& stack) {
-  if (gTracePath.empty() && gMetricsPath.empty() && gAttrPath.empty() &&
-      gCritPathPath.empty() && gTelemetryPath.empty() && !gOpTraceEnabled &&
-      gFlightRecEvents == 0)
-    return;
-  const int n = ++gStacksAttached;
+namespace {
+
+bool obsActive() {
+  return !(gTracePath.empty() && gMetricsPath.empty() && gAttrPath.empty() &&
+           gCritPathPath.empty() && gTelemetryPath.empty() &&
+           !gOpTraceEnabled && gFlightRecEvents == 0);
+}
+
+/// attachObs with an explicit stack ordinal: prefetch workers pre-assign
+/// numbers in point order so the ".2"/".3" artifact suffixes are identical
+/// to a serial run whatever order the workers finish in.
+void attachObsNumbered(iolib::SimStack& stack, int n) {
   const int np = stack.rt.numRanks();
+  // --trace/--metrics historically announce on stdout; concurrent workers
+  // would interleave them, so with --threads > 1 they join the newer flags
+  // on stderr (stdout stays byte-identical across thread counts).
+  std::FILE* announce = gThreads > 1 ? stderr : stdout;
   // Each artifact written by this attach gets a "<path>.manifest.json"
   // sidecar so downstream tools can validate provenance and schema.
   std::vector<std::pair<const char*, std::string>> artifacts;
@@ -299,15 +366,15 @@ void attachObs(iolib::SimStack& stack) {
       std::fprintf(stderr, "error: --trace: %s\n", e.what());
       std::exit(2);
     }
-    std::printf("[obs] streaming Chrome trace to %s (+ %s)\n", chrome.c_str(),
-                jsonl.c_str());
+    std::fprintf(announce, "[obs] streaming Chrome trace to %s (+ %s)\n",
+                 chrome.c_str(), jsonl.c_str());
     artifacts.emplace_back("trace", chrome);
   }
   if (!gMetricsPath.empty()) {
     const std::string json = numbered(gMetricsPath, n);
     stack.obs.exportOnDestroy(json, swapJsonForCsv(json));
-    std::printf("[obs] metrics will be written to %s and %s\n", json.c_str(),
-                swapJsonForCsv(json).c_str());
+    std::fprintf(announce, "[obs] metrics will be written to %s and %s\n",
+                 json.c_str(), swapJsonForCsv(json).c_str());
     artifacts.emplace_back("metrics", json);
   }
   // The newer flags announce on stderr: figure stdout must stay
@@ -369,10 +436,20 @@ void attachObs(iolib::SimStack& stack) {
       stack.flightRecorder = obs::FlightRecorder::create(gFlightRecEvents);
       stack.obs.addSink(stack.flightRecorder);
     }
-    gFlightRecorders.push_back(stack.flightRecorder);
+    {
+      std::lock_guard<std::mutex> lock(gFlightRecMu);
+      gFlightRecorders.push_back(stack.flightRecorder);
+    }
     std::fprintf(stderr, "[obs] flight recorder armed (%zu events/layer)\n",
                  gFlightRecEvents);
   }
+}
+
+}  // namespace
+
+void attachObs(iolib::SimStack& stack) {
+  if (!obsActive()) return;
+  attachObsNumbered(stack, ++gStacksAttached);
 }
 
 void banner(const std::string& artifact, const std::string& description) {
@@ -417,8 +494,69 @@ std::string secs(double seconds) {
   return buf;
 }
 
+namespace {
+
+/// The measured core shared by the serial path and the prefetch workers:
+/// run the checkpoint, hand back wall time and event count without touching
+/// the (order-sensitive) perf record.
+iolib::CheckpointResult runMeasured(iolib::SimStack& stack, int np,
+                                    const iolib::StrategyConfig& cfg,
+                                    double& wallSeconds,
+                                    std::uint64_t& events) {
+  const auto spec = iolib::CheckpointSpec::nekcemWeakScaling(np);
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::uint64_t events0 = stack.sched.eventsProcessed();
+  auto result = iolib::runCheckpoint(stack, spec, cfg);
+  wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  events = stack.sched.eventsProcessed() - events0;
+  return result;
+}
+
+}  // namespace
+
+void prefetchSims(const std::vector<SimPoint>& points) {
+  if (gThreads <= 1 || points.size() < 2) return;
+  const bool obs = obsActive();
+  const int base = gStacksAttached;
+  // Reserve artifact ordinals in point order up front; any later
+  // non-prefetched attach continues after them.
+  if (obs) gStacksAttached = base + static_cast<int>(points.size());
+  struct Slot {
+    std::string key;
+    CachedRun run;
+  };
+  std::vector<Slot> slots(points.size());
+  sim::parallelFor(points.size(), gThreads, [&](std::size_t i) {
+    const SimPoint& p = points[i];
+    iolib::SimStackOptions opt;
+    opt.seed = p.seed;
+    opt.simcheck = gSimCheckMode;
+    opt.flightRecorderEvents = gFlightRecEvents;
+    iolib::SimStack stack(p.np, opt);
+    if (obs) attachObsNumbered(stack, base + static_cast<int>(i) + 1);
+    Slot& slot = slots[i];
+    slot.key = pointKey(p.np, p.cfg, p.seed);
+    slot.run.label = "np=" + std::to_string(p.np) + " " + p.cfg.describe();
+    slot.run.result =
+        runMeasured(stack, p.np, p.cfg, slot.run.wallSeconds, slot.run.events);
+  });
+  for (Slot& slot : slots)
+    gSimCache[slot.key].push_back(std::move(slot.run));
+}
+
 iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
                                std::uint64_t seed) {
+  const auto cached = gSimCache.find(pointKey(np, cfg, seed));
+  if (cached != gSimCache.end() && !cached->second.empty()) {
+    CachedRun run = std::move(cached->second.front());
+    cached->second.pop_front();
+    if (cached->second.empty()) gSimCache.erase(cached);
+    // Replayed at consumption time so the perf record keeps serial order.
+    perfRecord(run.label, run.wallSeconds, run.events);
+    return run.result;
+  }
   iolib::SimStackOptions opt;
   opt.seed = seed;
   opt.simcheck = gSimCheckMode;
@@ -430,15 +568,10 @@ iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
 
 iolib::CheckpointResult runSim(iolib::SimStack& stack, int np,
                                const iolib::StrategyConfig& cfg) {
-  const auto spec = iolib::CheckpointSpec::nekcemWeakScaling(np);
-  const auto wall0 = std::chrono::steady_clock::now();
-  const std::uint64_t events0 = stack.sched.eventsProcessed();
-  auto result = iolib::runCheckpoint(stack, spec, cfg);
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
-          .count();
-  perfRecord("np=" + std::to_string(np) + " " + cfg.describe(), wall,
-             stack.sched.eventsProcessed() - events0);
+  double wall = 0.0;
+  std::uint64_t events = 0;
+  auto result = runMeasured(stack, np, cfg, wall, events);
+  perfRecord("np=" + std::to_string(np) + " " + cfg.describe(), wall, events);
   return result;
 }
 

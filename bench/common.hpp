@@ -81,17 +81,31 @@ std::string secs(double seconds);
 ///   --flightrec[=N]    keep a flight recorder of the last N (default 256)
 ///                      trace events per layer per stack; SimChecker
 ///                      violations and failed SHAPE CHECKs dump it to stderr
+///   --threads=N        simulate the harness's independent points on N
+///                      worker threads (default 1 = the serial reference).
+///                      Results, stdout, and every perf/obs artifact are
+///                      byte-identical to the serial run: points are
+///                      prefetched into a cache and consumed in program
+///                      order (see prefetchSims). The only difference is
+///                      that the --trace/--metrics announce lines move to
+///                      stderr so concurrent workers cannot interleave
+///                      stdout.
 /// Every file-producing flag also writes a `<file>.manifest.json` sidecar
 /// (schema version, bench name, np, flag set) that tools/trace_report
 /// validates before parsing. Unknown arguments are ignored so harnesses
 /// stay forward-compatible.
 void obsInit(int argc, char** argv);
 
+/// The worker-thread count requested with --threads (>= 1).
+unsigned benchThreads();
+
 /// Record one simulated run in the --perf-json report (no-op without the
 /// flag). The runSim overloads call this automatically; harnesses that
-/// drive runCheckpoint/runCampaign themselves can call it directly.
+/// drive runCheckpoint/runCampaign themselves can call it directly. The
+/// record carries the --threads value; pass `threads` explicitly to tag a
+/// run that managed its own parallelism (e.g. micro_queue's sharded cases).
 void perfRecord(const std::string& label, double wallSeconds,
-                std::uint64_t events);
+                std::uint64_t events, unsigned threads = 0);
 
 /// Write the --perf-json report, if requested. Returns false (and prints
 /// to stderr) if the file could not be written. Called by reportChecks.
@@ -107,8 +121,30 @@ sim::SimCheckMode simCheckMode();
 /// trace per stack. No-op when neither flag was given.
 void attachObs(iolib::SimStack& stack);
 
+/// One independent simulation point: what the fresh-stack runSim overload
+/// takes. Harnesses that loop over scales and approaches list their points
+/// up front (in the exact order runSim will consume them) and hand them to
+/// prefetchSims.
+struct SimPoint {
+  int np = 0;
+  iolib::StrategyConfig cfg;
+  std::uint64_t seed = 2011;
+};
+
+/// Simulate every point ahead of time on benchThreads() workers and cache
+/// the results (checkpoint result, wall time, event count, pre-assigned obs
+/// artifact numbers). A later fresh-stack runSim with matching (np, config,
+/// seed) consumes its cache entry in FIFO order — so a harness that
+/// prefetches its whole point list in call order produces byte-identical
+/// stdout and perf/obs artifacts whatever the thread count. Each simulated
+/// point is itself a single-threaded discrete-event run (the points are
+/// independent; determinism is per point by construction). No-op when
+/// --threads <= 1: the serial path stays exactly the reference.
+void prefetchSims(const std::vector<SimPoint>& points);
+
 /// Run one simulated checkpoint on a fresh Intrepid stack (paper noise
-/// conditions, fixed seed) and return the result.
+/// conditions, fixed seed) and return the result. Consumes a prefetched
+/// cache entry when one matches (see prefetchSims).
 iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
                                std::uint64_t seed = 2011);
 

@@ -44,6 +44,13 @@ int main(int argc, char** argv) {
       {"rbIO, 64:1, nf=ng", {9.0, 13.0, 16.0}},
   };
 
+  // With --threads > 1 every (np, approach) point simulates in parallel up
+  // front; the loop below consumes the cache in this exact order.
+  std::vector<SimPoint> points;
+  for (int np : scales)
+    for (const auto& a : paperApproaches(np)) points.push_back({np, a.cfg});
+  prefetchSims(points);
+
   std::map<std::string, std::map<int, double>> bw;  // name -> np -> GB/s
   for (int np : scales) {
     std::printf("\n-- np = %d --\n", np);

@@ -24,6 +24,11 @@ int main(int argc, char** argv) {
               tComp);
 
   const std::vector<int> scales = {16384, 32768, 65536};
+  std::vector<SimPoint> points;
+  for (int np : scales)
+    for (const auto& a : paperApproaches(np)) points.push_back({np, a.cfg});
+  prefetchSims(points);
+
   std::map<std::string, std::map<int, double>> ratio;
   for (int np : scales) {
     std::printf("\n-- np = %d --\n", np);

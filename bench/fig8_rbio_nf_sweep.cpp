@@ -18,6 +18,13 @@ int main(int argc, char** argv) {
 
   const std::vector<int> scales = {16384, 32768, 65536};
   const std::vector<int> files = {256, 512, 1024, 2048, 4096};
+  std::vector<SimPoint> points;
+  for (int np : scales)
+    for (int nf : files)
+      if (np / nf >= 2)
+        points.push_back({np, iolib::StrategyConfig::rbIo(np / nf, true)});
+  prefetchSims(points);
+
   std::map<int, std::map<int, double>> bw;  // np -> nf -> GB/s
 
   for (int np : scales) {

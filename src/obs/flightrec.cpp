@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 
 #include "obs/attr.hpp"
 
 namespace bgckpt::obs {
 
 namespace {
+
+// Registration happens from bench prefetch workers concurrently; the lock
+// covers every registry access (each recorder itself stays single-stack).
+std::mutex& registryMu() {
+  static std::mutex mu;
+  return mu;
+}
 
 std::vector<std::weak_ptr<FlightRecorder>>& registry() {
   static std::vector<std::weak_ptr<FlightRecorder>> recs;
@@ -94,22 +102,24 @@ void FlightRecorder::dump(std::ostream& os) const {
 }
 
 void registerFlightRecorder(const std::shared_ptr<FlightRecorder>& rec) {
-  if (rec) registry().push_back(rec);
+  if (!rec) return;
+  std::lock_guard<std::mutex> lock(registryMu());
+  registry().push_back(rec);
 }
 
 std::size_t dumpFlightRecorders(std::ostream& os) {
-  auto& recs = registry();
-  std::erase_if(recs, [](const std::weak_ptr<FlightRecorder>& w) {
-    return w.expired();
-  });
-  std::size_t dumped = 0;
-  for (const auto& w : recs) {
-    if (auto rec = w.lock()) {
-      rec->dump(os);
-      ++dumped;
-    }
+  std::vector<std::shared_ptr<FlightRecorder>> live;
+  {
+    std::lock_guard<std::mutex> lock(registryMu());
+    auto& recs = registry();
+    std::erase_if(recs, [](const std::weak_ptr<FlightRecorder>& w) {
+      return w.expired();
+    });
+    for (const auto& w : recs)
+      if (auto rec = w.lock()) live.push_back(std::move(rec));
   }
-  return dumped;
+  for (const auto& rec : live) rec->dump(os);
+  return live.size();
 }
 
 }  // namespace bgckpt::obs

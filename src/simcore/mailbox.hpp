@@ -1,0 +1,119 @@
+// Bounded cross-shard mailboxes for the parallel scheduler (shard.hpp).
+//
+// Each ordered shard pair (src -> dst) owns one single-producer/single-
+// consumer ring: the src shard's worker thread is the only producer, the
+// dst shard's worker the only consumer, so push and pop are wait-free and
+// need nothing stronger than acquire/release on the two cursors. The ring
+// is bounded by design — the conservative-window protocol drains every
+// mailbox at each window boundary, so its capacity only has to absorb one
+// window's worth of traffic. A burst beyond that spills into a small
+// mutex-guarded overflow vector instead of blocking the producer (blocking
+// would deadlock: the consumer drains only at the barrier the producer is
+// trying to reach). Order is immaterial at this layer: the drain merges
+// ring + overflow and the shard group re-sorts the batch by the
+// deterministic (time, source, sequence) key before injection.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "simcore/units.hpp"
+
+namespace bgckpt::sim {
+
+/// One cross-shard event in flight: execute `fn` on the destination shard
+/// at absolute simulated time `when`. `src`/`seq` form the deterministic
+/// merge key (see ShardGroup::send): `src` is the sending shard (or a
+/// model-level source id when the sender supplies one) and `seq` a
+/// per-source monotone counter, so equal-time arrivals inject in an order
+/// independent of thread interleaving and of the shard count.
+struct RemoteEvent {
+  SimTime when = 0.0;
+  std::uint32_t src = 0;
+  std::uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+/// Bounded wait-free SPSC ring. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// Producer side. Returns false when the ring is full.
+  bool tryPush(T&& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool tryPop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> head_{0};  // written by the producer only
+  std::atomic<std::size_t> tail_{0};  // written by the consumer only
+};
+
+/// The (src -> dst) channel: ring fast path plus the overflow valve.
+class Mailbox {
+ public:
+  explicit Mailbox(std::size_t capacity) : ring_(capacity) {}
+
+  /// Producer (src shard's thread only).
+  void push(RemoteEvent&& ev) {
+    if (ring_.tryPush(std::move(ev))) return;
+    // The ring is full for the rest of this window (the consumer only
+    // drains at the boundary); spill under the lock. `ev` was not consumed
+    // by the failed tryPush.
+    std::lock_guard<std::mutex> lock(overflowMu_);
+    overflow_.push_back(std::move(ev));
+    ++overflowed_;
+  }
+
+  /// Consumer (dst shard's thread only), at a window boundary: append
+  /// everything in flight to `out`. The caller re-sorts by merge key.
+  void drainInto(std::vector<RemoteEvent>& out) {
+    RemoteEvent ev;
+    while (ring_.tryPop(ev)) out.push_back(std::move(ev));
+    std::lock_guard<std::mutex> lock(overflowMu_);
+    for (RemoteEvent& o : overflow_) out.push_back(std::move(o));
+    overflow_.clear();
+  }
+
+  /// Times the bounded ring spilled to the overflow path (a sizing
+  /// diagnostic, aggregated into ShardGroup::Stats).
+  std::uint64_t overflowed() const { return overflowed_; }
+
+ private:
+  SpscRing<RemoteEvent> ring_;
+  std::mutex overflowMu_;
+  std::vector<RemoteEvent> overflow_;
+  std::uint64_t overflowed_ = 0;  // written under overflowMu_, read post-run
+};
+
+}  // namespace bgckpt::sim

@@ -1,0 +1,218 @@
+#include "simcore/shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "simcore/simcheck.hpp"
+
+namespace bgckpt::sim {
+
+ShardGroup::ShardGroup(const Config& config)
+    : lookahead_(config.lookahead) {
+  const unsigned s = config.shards == 0 ? 1 : config.shards;
+  if (s > 1 && !(lookahead_ > 0.0))
+    throw SimulationError(
+        "ShardGroup: lookahead must be > 0 with more than one shard "
+        "(a zero-lookahead window can never make parallel progress)");
+  shards_.resize(s);
+  for (unsigned i = 0; i < s; ++i) {
+    ShardState& st = shards_[i];
+    st.sched = std::make_unique<Scheduler>(config.scheduler);
+    st.inbox.reserve(s);
+    for (unsigned src = 0; src < s; ++src)
+      st.inbox.push_back(std::make_unique<Mailbox>(config.mailboxCapacity));
+    st.sendSeq.assign(s, 0);
+  }
+  threads_ = config.threads;
+}
+
+ShardGroup::~ShardGroup() = default;
+
+void ShardGroup::postSetup(unsigned i, std::function<void(Scheduler&)> setup) {
+  SIM_CHECK(i < shards_.size(), "postSetup: shard index out of range");
+  SIM_CHECK(!ran_, "postSetup after run()");
+  shards_[i].setup.push_back(std::move(setup));
+}
+
+void ShardGroup::send(unsigned from, unsigned to, Duration delay,
+                      std::uint32_t src, std::uint64_t srcSeq,
+                      std::function<void()> fn) {
+  SIM_CHECK(from < shards_.size() && to < shards_.size(),
+            "send: shard index out of range");
+  SIM_CHECK(delay >= lookahead_,
+            "cross-shard send below the conservative lookahead bound");
+  const SimTime when = shards_[from].sched->now() + delay;
+  shards_[to].inbox[from]->push(RemoteEvent{when, src, srcSeq, std::move(fn)});
+}
+
+void ShardGroup::send(unsigned from, unsigned to, Duration delay,
+                      std::function<void()> fn) {
+  SIM_CHECK(from < shards_.size() && to < shards_.size(),
+            "send: shard index out of range");
+  const std::uint64_t seq = shards_[from].sendSeq[to]++;
+  send(from, to, delay, from, seq, std::move(fn));
+}
+
+void ShardGroup::runSetup(unsigned i) {
+  ShardState& st = shards_[i];
+  for (auto& fn : st.setup) fn(*st.sched);
+  st.setup.clear();
+}
+
+void ShardGroup::drainPhase(unsigned i) {
+  ShardState& st = shards_[i];
+  st.batch.clear();
+  for (auto& box : st.inbox) box->drainInto(st.batch);
+  // Deterministic merge: equal-time arrivals inject in (when, src, seq)
+  // order, so the local sequence numbers they receive — and therefore the
+  // in-shard (time, seq) dispatch order — do not depend on which worker
+  // thread delivered first.
+  std::sort(st.batch.begin(), st.batch.end(),
+            [](const RemoteEvent& a, const RemoteEvent& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (RemoteEvent& ev : st.batch)
+    st.sched->scheduleCallAt(
+        ev.when, std::move(ev.fn),
+        WakeEdge{WakeKind::kMessageDeliver, "shard-mailbox"});
+  st.delivered += st.batch.size();
+  st.nextTime = st.sched->peekNextTime();
+}
+
+void ShardGroup::execPhase(unsigned i, SimTime horizon) {
+  ShardState& st = shards_[i];
+  try {
+    st.eventsRun += st.sched->runBefore(horizon);
+  } catch (...) {
+    st.error = std::current_exception();
+  }
+}
+
+bool ShardGroup::computeWindow() {
+  SimTime minNext = std::numeric_limits<SimTime>::infinity();
+  bool failed = false;
+  for (const ShardState& st : shards_) {
+    minNext = std::min(minNext, st.nextTime);
+    if (st.error) failed = true;
+  }
+  // After a drain phase nothing is in flight (every send of the previous
+  // window happened before the exec barrier, so the drain saw it), so an
+  // all-infinite reduction means global completion.
+  if (failed || minNext == std::numeric_limits<SimTime>::infinity()) {
+    done_ = true;
+    return false;
+  }
+  horizon_ = minNext + lookahead_;
+  ++windows_;
+  return true;
+}
+
+void ShardGroup::runCooperative() {
+  const unsigned s = shards();
+  for (unsigned i = 0; i < s; ++i) runSetup(i);
+  for (;;) {
+    for (unsigned i = 0; i < s; ++i) drainPhase(i);
+    if (!computeWindow()) break;
+    for (unsigned i = 0; i < s; ++i) execPhase(i, horizon_);
+  }
+}
+
+void ShardGroup::runThreaded(unsigned threads) {
+  const unsigned s = shards();
+  // One completion object serves both barrier points per window; it
+  // alternates drain-reduce / end-of-exec. Must be noexcept (std::barrier
+  // requirement): computeWindow only reduces plain fields.
+  bool reducePhase = true;
+  auto completion = [this, &reducePhase]() noexcept {
+    if (reducePhase) computeWindow();
+    reducePhase = !reducePhase;
+  };
+  std::barrier sync(static_cast<std::ptrdiff_t>(threads), completion);
+  auto worker = [this, threads, s, &sync](unsigned t) {
+    // Static shard->thread pinning: shard i always executes on worker
+    // i % threads, so its coroutine frames live and die in one thread's
+    // FrameArena.
+    for (unsigned i = t; i < s; i += threads) runSetup(i);
+    for (;;) {
+      for (unsigned i = t; i < s; i += threads) drainPhase(i);
+      sync.arrive_and_wait();  // completion: computeWindow()
+      if (done_) break;
+      const SimTime horizon = horizon_;
+      for (unsigned i = t; i < s; i += threads) execPhase(i, horizon);
+      sync.arrive_and_wait();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& th : pool) th.join();
+}
+
+ShardGroup::Stats ShardGroup::run() {
+  SIM_CHECK(!ran_, "ShardGroup::run called twice");
+  ran_ = true;
+  const unsigned s = shards();
+  unsigned t = threads_ == 0 ? s : std::min(threads_, s);
+  if (t <= 1) {
+    runCooperative();
+  } else {
+    runThreaded(t);
+  }
+  Stats stats;
+  stats.windows = windows_;
+  std::exception_ptr firstError;
+  std::size_t blockedRoots = 0;
+  for (ShardState& st : shards_) {
+    stats.events += st.eventsRun;
+    stats.messages += st.delivered;
+    for (const auto& box : st.inbox) stats.overflow += box->overflowed();
+    if (st.error && !firstError) firstError = st.error;
+    blockedRoots += st.sched->liveRoots();
+  }
+  if (firstError) std::rethrow_exception(firstError);
+  if (blockedRoots > 0)
+    throw SimulationError(
+        "ShardGroup: all queues and mailboxes drained but " +
+        std::to_string(blockedRoots) +
+        " root task(s) are still suspended (cross-shard deadlock)");
+  return stats;
+}
+
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t t =
+      threads <= 1 ? 1 : std::min<std::size_t>(threads, n);
+  if (t == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::exception_ptr> errors(n);
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(t);
+  for (std::size_t w = 0; w < t; ++w) pool.emplace_back(worker);
+  for (std::thread& th : pool) th.join();
+  for (std::size_t i = 0; i < n; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+}
+
+}  // namespace bgckpt::sim

@@ -1,0 +1,160 @@
+// Parallel discrete-event execution: sharded schedulers under conservative
+// lookahead windows with a deterministic cross-shard merge.
+//
+// A ShardGroup owns S independent Schedulers ("shards"), each with its own
+// tiered event queue and — because coroutine frames come from the
+// thread-local FrameArena — its own frame pool. Shards are pinned to worker
+// threads (shard i runs on thread i % T for the whole run, so every frame
+// is allocated and destroyed on one thread). Simulated entities that
+// interact at zero simulated latency must live on the same shard; entities
+// that only interact through a physical link with latency >= L (a torus
+// hop, an ION uplink) may live on different shards and exchange events
+// through bounded mailboxes (mailbox.hpp).
+//
+// Synchronization is the classic conservative (CMB/YAWNS) window protocol,
+// the scheme ROSS builds on:
+//
+//   repeat
+//     drain    every shard injects its pending mailbox arrivals
+//     reduce   minNext = min over shards of peekNextTime()
+//              horizon = minNext + lookahead
+//     execute  every shard runs events with time < horizon in parallel
+//   until all queues and mailboxes are empty
+//
+// Safety: a cross-shard send from an event executing at time t arrives at
+// t + delay with delay >= lookahead >= ... >= minNext + lookahead =
+// horizon, i.e. no event executed inside the window can affect any other
+// shard within the same window.
+//
+// Determinism: the executed event sequence is a pure function of the model,
+// independent of the worker-thread count and of real-time interleaving.
+//   * The window sequence depends only on queue states (minNext is a
+//     reduction over deterministic per-shard clocks).
+//   * Arrivals are injected at the window boundary in ascending
+//     (when, src, seq) order — src/seq being the sender-assigned merge key,
+//     not anything wall-clock dependent — so they receive local sequence
+//     numbers deterministically, and the in-shard tie-break (time, seq)
+//     stays exact. This mirrors the old-vs-new queue determinism contract
+//     in tests/integration: a threads=1 cooperative execution of the same
+//     shard topology is bit-identical to the threads=N execution, which the
+//     shard tests and the sharded-vs-serial integration test assert.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "simcore/mailbox.hpp"
+#include "simcore/scheduler.hpp"
+#include "simcore/units.hpp"
+
+namespace bgckpt::sim {
+
+class ShardGroup {
+ public:
+  struct Config {
+    /// Number of shards (independent schedulers). Must be >= 1.
+    unsigned shards = 1;
+    /// Worker threads. 0 means one per shard; 1 means cooperative serial
+    /// execution on the calling thread (the determinism reference). Shard i
+    /// is pinned to worker i % threads for the whole run.
+    unsigned threads = 0;
+    /// Conservative lookahead: the minimum cross-shard latency, in
+    /// simulated seconds. Every send() must cover at least this much
+    /// simulated time. Must be > 0 when shards > 1 — with zero lookahead
+    /// the window never advances past a single timestamp.
+    Duration lookahead = 0.0;
+    /// Per-(src,dst) mailbox ring capacity (entries). Bursts beyond it take
+    /// the mutexed overflow path — correct, just slower.
+    std::size_t mailboxCapacity = 4096;
+    /// Per-shard event-queue tuning (tiered/legacy, capacity hints).
+    Scheduler::Config scheduler;
+  };
+
+  struct Stats {
+    std::uint64_t events = 0;    ///< events dispatched, all shards
+    std::uint64_t windows = 0;   ///< conservative windows executed
+    std::uint64_t messages = 0;  ///< cross-shard events delivered
+    std::uint64_t overflow = 0;  ///< mailbox ring spills (sizing signal)
+  };
+
+  explicit ShardGroup(const Config& config);
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+  ~ShardGroup();
+
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+  Scheduler& shard(unsigned i) { return *shards_[i].sched; }
+
+  /// Register model setup for shard `i`. Runs on the shard's owning worker
+  /// thread before the first window (in shard order on each worker), so
+  /// coroutine frames spawned here land in that thread's FrameArena.
+  /// Call before run().
+  void postSetup(unsigned i, std::function<void(Scheduler&)> setup);
+
+  /// Send a cross-shard event: run `fn` on shard `to` at
+  /// shard(from).now() + delay. `delay` must be >= Config::lookahead.
+  /// `src`/`srcSeq` form the deterministic merge key for equal-time
+  /// arrivals at the destination. The convenience overload keys by the
+  /// sending shard and a per-(from,to) counter — the "shard id + sequence
+  /// number" tie-break; models that must stay deterministic across
+  /// *different* shard counts pass their own model-level key (e.g. source
+  /// partition id and a per-partition counter).
+  void send(unsigned from, unsigned to, Duration delay, std::uint32_t src,
+            std::uint64_t srcSeq, std::function<void()> fn);
+  void send(unsigned from, unsigned to, Duration delay,
+            std::function<void()> fn);
+
+  /// Drive every shard to completion (all queues and mailboxes empty) and
+  /// return aggregate statistics. Rethrows the lowest-shard-index error if
+  /// any shard's root task failed. Call at most once.
+  Stats run();
+
+ private:
+  struct alignas(64) ShardState {
+    std::unique_ptr<Scheduler> sched;
+    /// Inboxes, indexed by source shard.
+    std::vector<std::unique_ptr<Mailbox>> inbox;
+    std::vector<std::function<void(Scheduler&)>> setup;
+    /// Per-(this shard -> dst) send counters for the default merge key.
+    std::vector<std::uint64_t> sendSeq;
+    /// Published by the drain/reduce phase, read by the coordinator.
+    SimTime nextTime = 0.0;
+    std::uint64_t delivered = 0;
+    std::uint64_t eventsRun = 0;
+    std::exception_ptr error;
+    /// Reused drain scratch (cleared each window).
+    std::vector<RemoteEvent> batch;
+  };
+
+  /// Phase bodies, shared by the threaded and the cooperative drivers.
+  void runSetup(unsigned i);
+  void drainPhase(unsigned i);
+  void execPhase(unsigned i, SimTime horizon);
+  /// The reduce step between the phases; returns false when finished.
+  bool computeWindow();
+
+  void runCooperative();
+  void runThreaded(unsigned threads);
+
+  std::vector<ShardState> shards_;
+  Duration lookahead_ = 0.0;
+  unsigned threads_ = 0;
+  SimTime horizon_ = 0.0;
+  bool done_ = false;
+  std::uint64_t windows_ = 0;
+  bool ran_ = false;
+};
+
+/// Deterministically-slotted parallel job map: run body(0..n-1) on up to
+/// `threads` workers (dynamic work stealing via an atomic cursor; callers
+/// make determinism a property of each job, e.g. one independent simulation
+/// per job writing only its own slot). threads <= 1 runs inline, in order.
+/// Exceptions: the lowest job index's exception is rethrown after all
+/// workers finish.
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace bgckpt::sim

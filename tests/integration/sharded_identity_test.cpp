@@ -1,0 +1,129 @@
+// Byte-identity gate for the parallel simulation core: the figure benches
+// must produce the SAME bytes — stdout and every --telemetry/--attr export —
+// whether the simulation points run serially or prefetched on 8 threads.
+// This is the determinism contract of bench/common.cpp's prefetch cache
+// (FIFO consumption in program order, pre-assigned artifact ordinals,
+// replayed perf records) and of sim::ShardGroup's deterministic merge.
+//
+// Manifest sidecars (*.manifest.json) are excluded from the comparison:
+// they record the exact argv of the run, which legitimately differs by the
+// --threads flag itself.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;
+};
+
+/// Runs a bench binary and captures stdout only. stderr is discarded: with
+/// --threads > 1 the obs announce lines move there and their interleaving
+/// with worker progress is not deterministic (documented in bench/common).
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  FILE* pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) r.output += buf;
+  const int status = pclose(pipe);
+  r.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string readFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::string s((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  return s;
+}
+
+bool isManifest(const fs::path& p) {
+  return p.filename().string().find(".manifest.") != std::string::npos;
+}
+
+/// Comparable artifact filenames under dir, sorted.
+std::vector<std::string> artifactNames(const fs::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.is_regular_file() && !isManifest(e.path()))
+      names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/bgckpt_identity_XXXXXX";
+    root_ = mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+  fs::path path() const { return root_; }
+
+ private:
+  fs::path root_;
+};
+
+/// Runs `bench` twice (serial, then 8 worker threads) with telemetry and
+/// attribution exports into separate directories, then requires stdout and
+/// every exported artifact to be byte-identical.
+void expectByteIdentical(const std::string& bench, const std::string& args) {
+  const TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  const fs::path serialDir = tmp.path() / "serial";
+  const fs::path threadedDir = tmp.path() / "threaded";
+  fs::create_directories(serialDir);
+  fs::create_directories(threadedDir);
+
+  const std::string bin = std::string(BENCH_BIN_DIR) + "/" + bench;
+  const auto cmd = [&](const fs::path& dir, const char* threads) {
+    return bin + " " + args + " --threads=" + threads + " --telemetry " +
+           (dir / "telemetry.json").string() + " --attr " +
+           (dir / "attr.json").string();
+  };
+
+  const RunResult serial = run(cmd(serialDir, "1"));
+  ASSERT_EQ(serial.exitCode, 0) << serial.output;
+  const RunResult threaded = run(cmd(threadedDir, "8"));
+  ASSERT_EQ(threaded.exitCode, 0) << threaded.output;
+
+  EXPECT_EQ(serial.output, threaded.output)
+      << bench << ": stdout differs between --threads=1 and --threads=8";
+
+  const auto serialNames = artifactNames(serialDir);
+  const auto threadedNames = artifactNames(threadedDir);
+  ASSERT_EQ(serialNames, threadedNames)
+      << bench << ": exported artifact sets differ";
+  EXPECT_FALSE(serialNames.empty()) << bench << ": no artifacts exported";
+  for (const auto& name : serialNames) {
+    EXPECT_EQ(readFile(serialDir / name), readFile(threadedDir / name))
+        << bench << ": artifact " << name << " differs between thread counts";
+  }
+}
+
+}  // namespace
+
+TEST(ShardedIdentity, Fig5StdoutAndExportsMatchSerial) {
+  expectByteIdentical("fig5_write_bandwidth", "--max-np 16384");
+}
+
+TEST(ShardedIdentity, Fig9StdoutAndExportsMatchSerial) {
+  expectByteIdentical("fig9_dist_1pfpp", "");
+}

@@ -1,0 +1,337 @@
+#include "simcore/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "simcore/mailbox.hpp"
+#include "simcore/scheduler.hpp"
+#include "simcore/sync.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace bgckpt::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scheduler extensions the shard group builds on.
+
+TEST(SchedulerWindow, PeekNextTimeIsInfinityWhenEmpty) {
+  Scheduler sched;
+  EXPECT_EQ(sched.peekNextTime(), std::numeric_limits<SimTime>::infinity());
+}
+
+TEST(SchedulerWindow, PeekNextTimeSeesEarliestAbsoluteTime) {
+  Scheduler sched;
+  sched.scheduleCall(3.0, [] {});
+  sched.scheduleCall(1.5, [] {});
+  EXPECT_DOUBLE_EQ(sched.peekNextTime(), 1.5);
+}
+
+TEST(SchedulerWindow, RunBeforeIsStrictlyExclusive) {
+  Scheduler sched;
+  int ran = 0;
+  sched.scheduleCall(1.0, [&] { ++ran; });
+  sched.scheduleCall(2.0, [&] { ++ran; });
+  EXPECT_EQ(sched.runBefore(1.0), 0u);  // horizon == event time: not yet
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(sched.runBefore(2.0), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(sched.now(), 1.0);
+  EXPECT_EQ(sched.runBefore(100.0), 1u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_DOUBLE_EQ(sched.peekNextTime(),
+                   std::numeric_limits<SimTime>::infinity());
+}
+
+TEST(SchedulerWindow, RunBeforeWorksOnLegacyQueue) {
+  Scheduler::Config cfg;
+  cfg.legacyQueue = true;
+  Scheduler sched(cfg);
+  std::vector<int> order;
+  sched.scheduleCall(2.0, [&] { order.push_back(2); });
+  sched.scheduleCall(1.0, [&] { order.push_back(1); });
+  EXPECT_EQ(sched.runBefore(1.5), 1u);
+  EXPECT_EQ(sched.runBefore(2.5), 1u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerWindow, ScheduleCallAtUsesAbsoluteTime) {
+  Scheduler sched;
+  SimTime saw = -1.0;
+  sched.scheduleCall(1.0, [&] {
+    sched.scheduleCallAt(4.0, [&] { saw = sched.now(); }, WakeEdge{});
+  });
+  sched.run();
+  EXPECT_DOUBLE_EQ(saw, 4.0);
+}
+
+TEST(SchedulerWindowDeathTest, ScheduleCallAtRejectsThePast) {
+  Scheduler sched;
+  sched.scheduleCall(2.0, [&] {
+    sched.scheduleCallAt(1.0, [] {}, WakeEdge{});
+  });
+  EXPECT_DEATH(sched.run(), "scheduleCallAt into the past");
+}
+
+// ---------------------------------------------------------------------------
+// Mailbox layer.
+
+TEST(SpscRing, RoundsCapacityUpToPowerOfTwo) {
+  SpscRing<int> ring(3);
+  EXPECT_EQ(ring.capacity(), 4u);
+  SpscRing<int> one(1);
+  EXPECT_EQ(one.capacity(), 1u);
+}
+
+TEST(SpscRing, PushPopPreservesFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.tryPush(int{i}));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(SpscRing, RejectsPushWhenFull) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.tryPush(1));
+  EXPECT_TRUE(ring.tryPush(2));
+  EXPECT_FALSE(ring.tryPush(3));
+  int out = 0;
+  EXPECT_TRUE(ring.tryPop(out));
+  EXPECT_TRUE(ring.tryPush(3));  // slot freed
+}
+
+TEST(Mailbox, OverflowValveLosesNothing) {
+  Mailbox box(2);  // ring capacity 2; the rest must spill
+  for (int i = 0; i < 10; ++i)
+    box.push(RemoteEvent{static_cast<SimTime>(i), 0, static_cast<std::uint64_t>(i),
+                         [] {}});
+  std::vector<RemoteEvent> out;
+  box.drainInto(out);
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_GT(box.overflowed(), 0u);
+  out.clear();
+  box.drainInto(out);  // drained means drained
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// ShardGroup: the synthetic partition-ring workload.
+//
+// K logical partitions mapped p % S onto S shards. Partition p starts one
+// token at t=1; a token at partition p, round r, logs (now, r) and forwards
+// to partition (p+1) % K after exactly `lookahead` simulated seconds, with
+// the model-level merge key (source partition, round) — so the observable
+// behaviour is a function of the model only, whatever the shard count or
+// thread count. Every time step makes all K partitions fire at the same
+// simulated instant, which forces equal-time cross-shard merge collisions
+// on every shard whenever S < K.
+
+struct TraceEntry {
+  SimTime when = 0.0;
+  int partition = -1;
+  int round = -1;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+struct RingRun {
+  std::vector<std::vector<TraceEntry>> byPartition;  // per partition
+  std::vector<std::vector<TraceEntry>> byShard;      // per-shard dispatch log
+  ShardGroup::Stats stats;
+};
+
+struct RingDriver {
+  ShardGroup* group = nullptr;
+  int partitions = 0;
+  int rounds = 0;
+  Duration hop = 0.0;
+  RingRun* out = nullptr;
+
+  unsigned shardOf(int p) const {
+    return static_cast<unsigned>(p) % group->shards();
+  }
+
+  void fire(int p, int round) {
+    const unsigned s = shardOf(p);
+    const TraceEntry entry{group->shard(s).now(), p, round};
+    out->byPartition[static_cast<std::size_t>(p)].push_back(entry);
+    out->byShard[s].push_back(entry);
+    if (round + 1 >= rounds) return;
+    const int q = (p + 1) % partitions;
+    group->send(s, shardOf(q), hop, static_cast<std::uint32_t>(p),
+                static_cast<std::uint64_t>(round),
+                [this, q, round] { fire(q, round + 1); });
+  }
+};
+
+RingRun runPartitionRing(unsigned shards, unsigned threads, int partitions,
+                         int rounds, Duration lookahead,
+                         std::size_t mailboxCapacity = 4096) {
+  ShardGroup::Config cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.lookahead = lookahead;
+  cfg.mailboxCapacity = mailboxCapacity;
+  ShardGroup group(cfg);
+  RingRun run;
+  run.byPartition.resize(static_cast<std::size_t>(partitions));
+  run.byShard.resize(group.shards());
+  auto driver = std::make_shared<RingDriver>(
+      RingDriver{&group, partitions, rounds, lookahead, &run});
+  for (int p = 0; p < partitions; ++p)
+    group.postSetup(driver->shardOf(p), [driver, p](Scheduler& sched) {
+      sched.scheduleCall(1.0, [driver, p] { driver->fire(p, 0); });
+    });
+  run.stats = group.run();
+  return run;
+}
+
+TEST(ShardGroup, SingleShardRunsToCompletion) {
+  const RingRun run = runPartitionRing(1, 1, 4, 8, 0.5);
+  EXPECT_EQ(run.stats.events, 4u * 8u);
+  EXPECT_EQ(run.stats.messages, 4u * 7u);  // every hop after round 0
+  EXPECT_EQ(run.stats.windows, 8u);        // one time step per window
+  EXPECT_EQ(run.stats.overflow, 0u);
+  for (const auto& trace : run.byPartition) EXPECT_EQ(trace.size(), 8u);
+}
+
+TEST(ShardGroup, ObservableTraceInvariantAcrossShardCounts) {
+  const RingRun ref = runPartitionRing(1, 1, 8, 12, 0.25);
+  for (unsigned shards : {2u, 4u, 8u}) {
+    const RingRun run = runPartitionRing(shards, 0, 8, 12, 0.25);
+    EXPECT_EQ(run.byPartition, ref.byPartition) << shards << " shards";
+    EXPECT_EQ(run.stats.events, ref.stats.events) << shards << " shards";
+    EXPECT_EQ(run.stats.messages, ref.stats.messages) << shards << " shards";
+    EXPECT_EQ(run.stats.windows, ref.stats.windows) << shards << " shards";
+  }
+}
+
+TEST(ShardGroup, ThreadedExecutionBitIdenticalToCooperative) {
+  // Same shard topology, varying worker counts: the per-shard dispatch logs
+  // (not just per-partition views) must match the threads=1 reference
+  // exactly — this is the determinism contract the fig-bench byte-identity
+  // test relies on.
+  const RingRun ref = runPartitionRing(4, 1, 8, 16, 0.125);
+  for (unsigned threads : {2u, 4u}) {
+    const RingRun run = runPartitionRing(4, threads, 8, 16, 0.125);
+    EXPECT_EQ(run.byShard, ref.byShard) << threads << " threads";
+    EXPECT_EQ(run.byPartition, ref.byPartition) << threads << " threads";
+    EXPECT_EQ(run.stats.windows, ref.stats.windows) << threads << " threads";
+  }
+}
+
+TEST(ShardGroup, TinyMailboxSpillsButStaysCorrect) {
+  const RingRun ref = runPartitionRing(2, 0, 8, 10, 0.5);
+  const RingRun tiny = runPartitionRing(2, 0, 8, 10, 0.5, /*mailbox=*/1);
+  EXPECT_GT(tiny.stats.overflow, 0u);
+  EXPECT_EQ(tiny.byShard, ref.byShard);
+  EXPECT_EQ(tiny.byPartition, ref.byPartition);
+}
+
+TEST(ShardGroup, CoroutineRootsRunOnTheirOwningWorker) {
+  ShardGroup::Config cfg;
+  cfg.shards = 4;
+  cfg.threads = 2;
+  cfg.lookahead = 1.0;
+  ShardGroup group(cfg);
+  std::atomic<int> done{0};
+  for (unsigned i = 0; i < 4; ++i)
+    group.postSetup(i, [&done, i](Scheduler& sched) {
+      auto body = [](Scheduler& s, std::atomic<int>& d,
+                     unsigned laps) -> Task<> {
+        for (unsigned k = 0; k < laps; ++k) co_await s.delay(0.5);
+        d.fetch_add(1, std::memory_order_relaxed);
+      };
+      sched.spawn(body(sched, done, 3 + i));
+    });
+  const ShardGroup::Stats stats = group.run();
+  EXPECT_EQ(done.load(), 4);
+  EXPECT_GT(stats.events, 0u);
+}
+
+TEST(ShardGroup, PropagatesModelExceptionFromAnyShard) {
+  ShardGroup::Config cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  cfg.lookahead = 1.0;
+  ShardGroup group(cfg);
+  group.postSetup(0, [](Scheduler& sched) { sched.scheduleCall(5.0, [] {}); });
+  group.postSetup(1, [](Scheduler& sched) {
+    sched.scheduleCall(1.0, [] { throw std::runtime_error("shard boom"); });
+  });
+  EXPECT_THROW(group.run(), std::runtime_error);
+}
+
+TEST(ShardGroup, DetectsCrossShardDeadlock) {
+  ShardGroup::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 1.0;
+  ShardGroup group(cfg);
+  group.postSetup(0, [](Scheduler& sched) {
+    auto body = [](Scheduler& s) -> Task<> {
+      Gate never(s);
+      co_await never.wait();  // nobody will fire it
+    };
+    sched.spawn(body(sched));
+  });
+  EXPECT_THROW(group.run(), SimulationError);
+}
+
+TEST(ShardGroup, RejectsZeroLookaheadWithMultipleShards) {
+  ShardGroup::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 0.0;
+  EXPECT_THROW(ShardGroup group(cfg), SimulationError);
+}
+
+TEST(ShardGroupDeathTest, RejectsSendBelowLookahead) {
+  ShardGroup::Config cfg;
+  cfg.shards = 2;
+  cfg.lookahead = 1.0;
+  ShardGroup group(cfg);
+  EXPECT_DEATH(group.send(0, 1, 0.25, [] {}),
+               "below the conservative lookahead");
+}
+
+// ---------------------------------------------------------------------------
+// parallelFor.
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<int> hits(257, 0);
+  parallelFor(hits.size(), 4,
+              [&](std::size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, InlineWhenSingleThreaded) {
+  std::vector<std::size_t> order;
+  parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, ZeroJobsIsANoop) {
+  bool touched = false;
+  parallelFor(0, 8, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RethrowsLowestIndexException) {
+  try {
+    parallelFor(16, 4, [](std::size_t i) {
+      if (i == 3 || i == 11) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+}
+
+}  // namespace
+}  // namespace bgckpt::sim

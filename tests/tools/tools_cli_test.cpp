@@ -266,6 +266,38 @@ TEST(PerfCompareCli, FailsOnEventRegression) {
       << r.output;
 }
 
+TEST(PerfCompareCli, ComparesMatchingThreadGroupsOnly) {
+  // Baseline holds serial and 8-thread groups; the current report is
+  // serial-only, so only the threads=1 group gates and the 8-thread group
+  // is skipped.
+  const auto r = run(perfCompare() + " " + fixture("perf_base_threads.json") +
+                     " " + fixture("perf_same.json") + " --no-wall");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [PASS]: events"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[threads=1]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [SKIP]: no [threads=8]"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(PerfCompareCli, MinSpeedupPassesWhenParallelIsFaster) {
+  const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
+                     fixture("perf_parallel.json") + " --min-speedup 3");
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [PASS]: speedup 4.00x"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(PerfCompareCli, MinSpeedupFailsWhenParallelIsNotFasterEnough) {
+  const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
+                     fixture("perf_same.json") + " --min-speedup 3");
+  EXPECT_EQ(r.exitCode, 1) << r.output;
+  EXPECT_NE(r.output.find("PERF CHECK [FAIL]: speedup"), std::string::npos)
+      << r.output;
+}
+
 TEST(PerfCompareCli, UsageAndMissingFilesExitTwo) {
   EXPECT_EQ(run(perfCompare()).exitCode, 2);
   EXPECT_EQ(run(perfCompare() + " " + fixture("perf_base.json") +

@@ -45,6 +45,15 @@
 //                   double-counts it in every percentile table. Backends
 //                   that legitimately originate requests (e.g. hostio)
 //                   carry an explicit allow with justification.
+//   static-mutable  static/global mutable variables in src/simcore/ and
+//                   src/netsim/ without synchronisation. The sharded
+//                   scheduler runs these layers on worker threads; hidden
+//                   static state is a data race and a determinism leak
+//                   (shards must not observe each other outside the mailbox
+//                   protocol). Declarations marked const/constexpr/
+//                   thread_local, or of atomic/mutex/once_flag type, are
+//                   exempt; anything else needs an explicit allow naming
+//                   the synchronisation that protects it.
 //   include-hygiene headers must start with #pragma once; no "../" relative
 //                   includes; no <bits/...> internals.
 //
@@ -222,6 +231,7 @@ const std::set<std::string> kWallClockIdents = {
 struct FileScope {
   bool inSrc = false;      // under src/
   bool inSimcore = false;  // under src/simcore/
+  bool inNetsim = false;   // under src/netsim/ (runs on shard workers)
   bool inObs = false;      // under src/obs/ (the hub may emit directly)
   bool inIolib = false;    // under src/iolib/ (strategies mint op traces)
   bool isSchedulerCpp = false;
@@ -233,6 +243,7 @@ void lintFile(const fs::path& path) {
   FileScope scope;
   scope.inSrc = name.find("src/") != std::string::npos;
   scope.inSimcore = name.find("src/simcore/") != std::string::npos;
+  scope.inNetsim = name.find("src/netsim/") != std::string::npos;
   scope.inObs = name.find("src/obs/") != std::string::npos;
   scope.inIolib = name.find("src/iolib/") != std::string::npos;
   scope.isSchedulerCpp = name.find("simcore/scheduler.cpp") != std::string::npos;
@@ -372,6 +383,31 @@ void lintFile(const fs::path& path) {
                "mintOpTrace() is reserved for strategy-level code "
                "(src/iolib, src/obs); layers below must propagate the "
                "OpTraceContext they were given, never re-mint");
+      // static-mutable: hidden static state in layers the sharded
+      // scheduler runs on worker threads. A declaration is a finding when
+      // nothing up to the initialiser/terminator looks like a function
+      // (no parameter list) and the line carries no synchronisation or
+      // immutability marker.
+      if ((scope.inSimcore || scope.inNetsim) && ident == "static" &&
+          !allowedRule("static-mutable")) {
+        const std::string rest = code.substr(pos + ident.size());
+        const std::size_t stop = rest.find_first_of(";={");
+        const std::string decl =
+            stop == std::string::npos ? rest : rest.substr(0, stop);
+        const bool isFunction = decl.find('(') != std::string::npos;
+        bool exempt = false;
+        for (const auto& [p2, id2] : idents)
+          if (id2 == "const" || id2 == "constexpr" || id2 == "consteval" ||
+              id2 == "thread_local" || id2 == "atomic" || id2 == "mutex" ||
+              id2 == "shared_mutex" || id2 == "once_flag")
+            exempt = true;
+        if (!isFunction && !exempt)
+          report(name, lineNo, "static-mutable",
+                 "static mutable state in a layer that runs on shard worker "
+                 "threads; make it const/constexpr/thread_local/atomic, or "
+                 "add `// srclint:allow(static-mutable): <what synchronises "
+                 "it>`");
+      }
       // wall-clock: host time / libc randomness in deterministic code.
       if (scope.inSrc && kWallClockIdents.count(ident) != 0 &&
           !allowedRule("wall-clock"))
