@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
+#include <vector>
 
 #include "simcore/simcheck.hpp"
 
@@ -170,8 +171,18 @@ void OpTracer::closeOut(sim::SimTime horizon) {
   if (closed_) return;
   closed_ = true;
   horizon_ = horizon;
-  for (auto& [id, req] : open_) req.unfinished = true;
-  while (!open_.empty()) completeRequest(open_.begin()->first, horizon);
+  // Complete leftovers in ascending id order: draining the unordered map
+  // via begin() would feed the float accumulators and the tail heap in
+  // hash-table order, which is not stable across runs — and the exported
+  // percentile tables must stay byte-identical.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(open_.size());
+  for (auto& [id, req] : open_) {
+    req.unfinished = true;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::uint32_t id : ids) completeRequest(id, horizon);
 }
 
 OpTracer::HopStat OpTracer::hopStat(Hop h) const {

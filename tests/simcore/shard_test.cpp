@@ -296,6 +296,8 @@ TEST(ShardGroupDeathTest, RejectsSendBelowLookahead) {
   cfg.shards = 2;
   cfg.lookahead = 1.0;
   ShardGroup group(cfg);
+  // srclint:allow(shard-send-lookahead): this death test exists to prove
+  // the runtime SIM_CHECK rejects a sub-lookahead delay.
   EXPECT_DEATH(group.send(0, 1, 0.25, [] {}),
                "below the conservative lookahead");
 }

@@ -1,0 +1,9 @@
+// Fixture: suppression misuse — a bare allow with no justification (which
+// also leaves the underlying finding live) and an allow naming a rule that
+// does not exist.
+int seedA() {
+  return rand();  // srclint:allow(wall-clock)
+}
+int seedB() {
+  return rand();  // srclint:allow(wall-clok): typo'd rule name
+}

@@ -1,0 +1,32 @@
+// Fixture: range-for over an awaited temporary, an immediately-invoked
+// capturing coroutine lambda, and a spawned coroutine binding a reference
+// parameter to a temporary.
+template <class T = void> struct Task {};
+struct Chunk {};
+struct Stack {
+  auto fetchChunks();
+};
+struct Sched {
+  void spawn(Task<> t);
+  void run();
+};
+Stack makeStack();
+
+Task<> consume(Stack& st) {
+  for (const Chunk& c : co_await st.fetchChunks()) {  // ternary-co-await:
+    (void)c;  // the range temporary dies before the loop body resumes
+  }
+}
+
+Task<> writer(Stack& s, int n) {
+  (void)n;
+  co_return;
+}
+
+void detachAll(Sched& sched, int x) {
+  auto t = [&x]() -> Task<> { co_return; }();  // coro-lambda-capture: the
+  // temporary closure dies at the ';' while the lazy Task resumes later
+  sched.spawn(static_cast<Task<>&&>(t));
+  sched.spawn(writer(makeStack(), 3));  // coro-spawn-dangling: Stack& bound
+  sched.run();                          // to a temporary
+}

@@ -1,0 +1,6 @@
+// Fixture: include-hygiene — missing #pragma once, a "../" relative
+// include, and a libstdc++ internal header.
+#include "../simcore/scheduler.hpp"
+#include <bits/stdc++.h>
+
+inline int fixtureValue() { return 1; }

@@ -1,0 +1,17 @@
+// Fixture: minimized repro of the PR 3 fssim use-after-free — co_await in
+// both branches of a conditional expression. GCC destroys the awaited
+// temporary before the ?: result is copied out; ASan reports a UAF on the
+// returned handle.
+struct FileHandle { int fd; };
+struct Fs {
+  auto create(int rank, const char* path);
+  auto open(int rank, const char* path);
+  auto close(int rank, FileHandle fh);
+};
+template <class T = void> struct Task {};
+
+Task<> writer(Fs& fs, int rank) {
+  FileHandle fh = rank == 0 ? co_await fs.create(0, "f")
+                            : co_await fs.open(rank, "f");
+  co_await fs.close(rank, fh);
+}

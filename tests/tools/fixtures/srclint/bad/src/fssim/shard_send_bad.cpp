@@ -1,0 +1,14 @@
+// Fixture: cross-shard sends whose delay is not provably >= the lookahead —
+// a bare constant, and a bound-breaking subtraction.
+struct Group {
+  template <class F> void send(unsigned from, unsigned to, double delay, F fn);
+};
+struct Config {
+  double lookahead = 1.0;
+};
+
+void emitEvents(Group& group, const Config& cfg) {
+  group.send(0, 1, 0.25, [] {});                  // shard-send-lookahead
+  group.send(0, 1, cfg.lookahead - 0.1, [] {});   // shard-send-lookahead:
+  (void)cfg;                                      // subtraction breaks bound
+}

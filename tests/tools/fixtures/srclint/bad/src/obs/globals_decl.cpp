@@ -1,0 +1,5 @@
+// Fixture: declares a mutable gName-convention global outside simcore (so
+// static-mutable stays quiet here) that a simcore file reads cross-file.
+int gSharedBudget = 0;
+
+void resetBudget() { gSharedBudget = 0; }

@@ -1,0 +1,27 @@
+// Fixture: unordered-container iteration feeding ordered sinks — a printf
+// in hash order, a float accumulation, and a begin()-drain loop.
+#include <cstdio>
+#include <unordered_map>
+
+struct Exporter {
+  std::unordered_map<int, double> byId_;
+  double totalSeconds = 0.0;
+
+  void dump() {
+    for (const auto& [id, v] : byId_)    // det-unordered-iteration: printf
+      std::printf("%d %f\n", id, v);     // emits rows in hash-table order
+  }
+  void accumulate() {
+    double total = 0.0;
+    for (const auto& [id, v] : byId_) {  // det-unordered-iteration: float
+      (void)id;                          // addition does not commute
+      total += v;
+    }
+    totalSeconds = total;
+  }
+  void consume(int id) { byId_.erase(id); }
+  void drain() {
+    while (!byId_.empty())               // det-unordered-iteration: drains
+      consume(byId_.begin()->first);     // in hash-table order
+  }
+};

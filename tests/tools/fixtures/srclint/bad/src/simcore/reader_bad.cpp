@@ -1,0 +1,5 @@
+// Fixture: shard-global-read across files — a simcore function body reads a
+// mutable namespace-scope global declared in another translation unit.
+int readBudget() {
+  return gSharedBudget;  // shard-global-read: cross-file gName convention
+}

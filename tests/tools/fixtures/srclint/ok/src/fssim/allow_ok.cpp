@@ -1,0 +1,11 @@
+// Fixture: a justified allow naming a known rule suppresses the finding —
+// on the same line and from a comment line directly above.
+unsigned seedA() {
+  return rand();  // srclint:allow(wall-clock): fixture exercises the
+                  // justified same-line allow path
+}
+unsigned seedB() {
+  // srclint:allow(wall-clock): fixture exercises the comment-line-above
+  // allow path
+  return rand();
+}

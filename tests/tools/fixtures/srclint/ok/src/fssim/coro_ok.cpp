@@ -1,0 +1,39 @@
+// Fixture: the safe coroutine idioms — a named closure spawned under a
+// same-scope run(), a directly-awaited immediately-invoked lambda, lvalue
+// spawn arguments, and a lambda handed straight to spawnAll (pinned by the
+// Runtime).
+template <class T = void> struct Task {};
+struct Comm {};
+struct Stack {
+  int depth;
+};
+struct Sched {
+  void spawn(Task<> t);
+  void run();
+};
+struct Runtime {
+  template <class F> void spawnAll(F f);
+};
+
+Task<> writer(Stack& s, int n) {
+  (void)n;
+  co_return;
+}
+
+Task<> outer(Sched& sched, int x) {
+  // Immediately invoked, but directly awaited: the enclosing coroutine's
+  // frame keeps the closure temporary alive across the suspension.
+  co_await [&x]() -> Task<> { co_return; }();
+}
+
+void runAll(Sched& sched, Runtime& rt, Stack& st, int x) {
+  auto body = [&x]() -> Task<> { co_return; };  // named: outlives run()
+  sched.spawn(body());
+  sched.spawn(writer(st, 3));  // lvalue argument: no dangling reference
+  rt.spawnAll([&st](Comm world) -> Task<> {
+    (void)world;
+    (void)st.depth;
+    co_return;
+  });
+  sched.run();
+}

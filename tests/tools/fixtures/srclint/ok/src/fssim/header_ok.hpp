@@ -1,0 +1,6 @@
+// Fixture: a hygienic header — #pragma once and module-qualified includes.
+#pragma once
+
+#include <cstdint>
+
+inline std::uint32_t fixtureValue() { return 1; }

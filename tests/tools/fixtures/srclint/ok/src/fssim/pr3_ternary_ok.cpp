@@ -1,0 +1,21 @@
+// Fixture: the corrected PR 3 pattern — the conditional spelled as if/else
+// so each co_await is a full statement, plus safe co_await positions (call
+// argument, await of a grouped call result).
+struct FileHandle { int fd; };
+struct Fs {
+  auto create(int rank, const char* path);
+  auto open(int rank, const char* path);
+  auto close(int rank, FileHandle fh);
+};
+template <class T = void> struct Task {};
+void use(FileHandle fh);
+
+Task<> writer(Fs& fs, int rank) {
+  FileHandle fh;
+  if (rank == 0)
+    fh = co_await fs.create(0, "f");
+  else
+    fh = co_await fs.open(rank, "f");
+  use(co_await fs.open(rank, "g"));  // call argument: full-expression
+  co_await fs.close(rank, fh);       // lifetime covers the suspension
+}

@@ -1,0 +1,19 @@
+// Fixture: compliant cross-shard sends — delays visibly derived from the
+// lookahead / hop-latency constants, and a 3-argument mpisim-style send
+// that the rule must not confuse with ShardGroup::send.
+struct Group {
+  template <class F> void send(unsigned from, unsigned to, double delay, F fn);
+};
+struct Comm {
+  void send(int dst, int tag, unsigned long bytes);
+};
+struct Config {
+  double lookahead = 1.0;
+  double hopLatency = 0.5;
+};
+
+void emitEvents(Group& group, Comm& comm, const Config& cfg) {
+  group.send(0, 1, cfg.lookahead, [] {});
+  group.send(0, 1, cfg.hopLatency * 2.0 + 1.0, [] {});
+  comm.send(3, 7, 4096ul);
+}

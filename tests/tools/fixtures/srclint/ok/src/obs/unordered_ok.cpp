@@ -1,0 +1,29 @@
+// Fixture: order-independent bodies over unordered containers — integer
+// accumulation, and keys collected then sorted before the ordered sink.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+struct Exporter {
+  std::unordered_map<int, long> byId_;
+
+  long countAll() {
+    long n = 0;
+    for (const auto& [id, v] : byId_) {  // integer sums commute
+      (void)id;
+      n += v;
+    }
+    return n;
+  }
+  void dumpSorted() {
+    std::vector<int> keys;
+    keys.reserve(byId_.size());
+    for (const auto& [id, v] : byId_) {  // key collection only
+      (void)v;
+      keys.push_back(id);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (int k : keys) std::printf("%d %ld\n", k, byId_.at(k));
+  }
+};

@@ -1,0 +1,22 @@
+// Fixture: the compliant counterparts — arena operator-new plumbing,
+// exempt namespace-scope declarations, and no hidden mutable state.
+#include <atomic>
+#include <cstddef>
+
+namespace sim {
+
+constexpr int kMaxShards = 64;             // exempt: constexpr
+const double kDefaultScale = 1.0;          // exempt: const
+std::atomic<int> gLiveTasks{0};            // exempt: self-synchronized
+thread_local int tlsScratch = 0;           // exempt: per-thread
+
+struct FrameArena {
+  // operator-new plumbing IS the designated allocator: exempt from raw-new.
+  static void* operator new(std::size_t n);
+  static void operator delete(void* p) noexcept;
+  FrameArena(const FrameArena&) = delete;  // `= delete` is not a delete-expr
+};
+
+int nextShard(int s) { return (s + 1) % kMaxShards; }
+
+}  // namespace sim

@@ -1,0 +1,15 @@
+// Fixture: std::priority_queue is sanctioned inside simcore/scheduler.cpp
+// (the legacy A/B reference queue lives here).
+#include <queue>
+
+namespace sim {
+
+int drainReference() {
+  std::priority_queue<int> reference;
+  reference.push(1);
+  const int top = reference.top();
+  reference.pop();
+  return top;
+}
+
+}  // namespace sim

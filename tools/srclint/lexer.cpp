@@ -1,0 +1,328 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace srclint {
+
+namespace {
+
+/// Multi-character punctuators, longest-match-first. Only the ones rules
+/// care to see as single tokens need listing; unknown sequences fall back
+/// to single characters.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++",
+    "--",
+};
+
+bool startsWith(const std::string& s, std::size_t at, const char* prefix) {
+  for (std::size_t i = 0; prefix[i] != '\0'; ++i)
+    if (at + i >= s.size() || s[at + i] != prefix[i]) return false;
+  return true;
+}
+
+/// Scan allow markers (the word srclint, a colon, `allow`, a parenthesized
+/// rule name, then an optional `: why`) out of one comment's text.
+void parseAllowsFrom(const std::string& comment, std::uint32_t line,
+                     LexedFile& out) {
+  const std::string marker = "srclint:allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    const std::size_t open = pos + marker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) break;
+    Allow a;
+    a.rule = comment.substr(open, close - open);
+    std::size_t after = close + 1;
+    if (after < comment.size() && comment[after] == ':') {
+      ++after;
+      while (after < comment.size()) {
+        if (std::isspace(static_cast<unsigned char>(comment[after])) == 0) {
+          a.justified = true;
+          break;
+        }
+        ++after;
+      }
+    }
+    out.allows[line].push_back(std::move(a));
+    pos = close;
+  }
+}
+
+struct Lexer {
+  const std::string& text;
+  LexedFile& out;
+  std::size_t i = 0;
+  std::uint32_t line = 1;
+  std::size_t lineStart = 0;
+
+  char peek(std::size_t ahead = 0) const {
+    return i + ahead < text.size() ? text[i + ahead] : '\0';
+  }
+
+  void newline() {
+    ++line;
+    lineStart = i;  // i already points past the '\n'
+  }
+
+  std::uint32_t col() const {
+    return static_cast<std::uint32_t>(i - lineStart);
+  }
+
+  void push(Tok kind, std::string tokText, std::uint32_t tokLine,
+            std::uint32_t tokCol) {
+    out.tokens.push_back(Token{kind, std::move(tokText), tokLine, tokCol});
+  }
+
+  /// Consume a // comment (to end of line, exclusive of the newline).
+  void lineComment() {
+    const std::uint32_t atLine = line;
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != '\n') ++i;
+    parseAllowsFrom(text.substr(start, i - start), atLine, out);
+  }
+
+  /// Consume a block comment. Allow markers are attributed to the line
+  /// they appear on, so a multi-line banner can still carry one.
+  void blockComment() {
+    i += 2;
+    std::size_t segStart = i;
+    while (i < text.size()) {
+      if (text[i] == '\n') {
+        parseAllowsFrom(text.substr(segStart, i - segStart), line, out);
+        ++i;
+        newline();
+        segStart = i;
+        continue;
+      }
+      if (text[i] == '*' && peek(1) == '/') {
+        parseAllowsFrom(text.substr(segStart, i - segStart), line, out);
+        i += 2;
+        return;
+      }
+      ++i;
+    }
+    parseAllowsFrom(text.substr(segStart, i - segStart), line, out);
+  }
+
+  /// Consume a conventional quoted literal, handling escapes. Returns the
+  /// contents (quotes and escapes left as written, minus the delimiters).
+  std::string quoted(char quote) {
+    ++i;  // opening quote
+    const std::size_t start = i;
+    while (i < text.size() && text[i] != quote) {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        i += 2;
+        continue;
+      }
+      if (text[i] == '\n') break;  // unterminated; be forgiving
+      ++i;
+    }
+    const std::string contents = text.substr(start, i - start);
+    if (i < text.size() && text[i] == quote) ++i;
+    return contents;
+  }
+
+  /// Consume a raw string literal starting at R"... . `i` points at 'R'.
+  std::string rawString() {
+    i += 2;  // R"
+    std::size_t d = i;
+    while (d < text.size() && text[d] != '(') ++d;
+    const std::string delim = text.substr(i, d - i);
+    const std::string closer = ")" + delim + "\"";
+    i = d + 1;
+    const std::size_t start = i;
+    while (i < text.size() && !startsWith(text, i, closer.c_str())) {
+      if (text[i] == '\n') {
+        ++i;
+        newline();
+      } else {
+        ++i;
+      }
+    }
+    const std::string contents = text.substr(start, i - start);
+    if (i < text.size()) i += closer.size();
+    return contents;
+  }
+
+  /// A '#' that is the first significant character of its line begins a
+  /// preprocessor logical line: fold continuations, strip comments.
+  void preprocessor() {
+    const std::uint32_t atLine = line;
+    std::string logical;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (c == '\n') {
+        if (!logical.empty() && logical.back() == '\\') {
+          logical.pop_back();
+          ++i;
+          newline();
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lineComment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        blockComment();
+        logical.push_back(' ');
+        continue;
+      }
+      logical.push_back(c);
+      ++i;
+    }
+    out.preproc.push_back(PreprocLine{atLine, std::move(logical)});
+  }
+
+  void run() {
+    while (i < text.size()) {
+      const char c = text[i];
+      if (c == '\n') {
+        ++i;
+        newline();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+        ++i;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        lineComment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        blockComment();
+        continue;
+      }
+      if (c == '#') {
+        // Only a line-leading '#' opens a preprocessor directive.
+        bool lineLeading = true;
+        for (std::size_t p = lineStart; p < i; ++p)
+          if (text[p] != ' ' && text[p] != '\t') lineLeading = false;
+        if (lineLeading) {
+          preprocessor();
+          continue;
+        }
+        push(Tok::kPunct, "#", line, col());
+        ++i;
+        continue;
+      }
+      // Raw strings: R"( and the encoding-prefixed forms (u8R", LR", ...).
+      if ((c == 'R' && peek(1) == '"') ||
+          ((c == 'u' || c == 'U' || c == 'L') &&
+           ((peek(1) == 'R' && peek(2) == '"') ||
+            (c == 'u' && peek(1) == '8' && peek(2) == 'R' && peek(3) == '"')))) {
+        const std::uint32_t atLine = line;
+        const std::uint32_t atCol = col();
+        while (text[i] != 'R') ++i;  // skip encoding prefix
+        push(Tok::kString, rawString(), atLine, atCol);
+        continue;
+      }
+      if (c == '"') {
+        const std::uint32_t atCol = col();
+        push(Tok::kString, quoted('"'), line, atCol);
+        continue;
+      }
+      if (c == '\'') {
+        // Heuristic: a quote directly after an identifier/number character
+        // is a C++14 digit separator (1'000'000), not a char literal.
+        const char prev = i > 0 ? text[i - 1] : '\0';
+        if (isIdentChar(prev)) {
+          ++i;
+          continue;
+        }
+        const std::uint32_t atCol = col();
+        push(Tok::kChar, quoted('\''), line, atCol);
+        continue;
+      }
+      if (isIdentStart(c)) {
+        const std::size_t start = i;
+        const std::uint32_t atCol = col();
+        while (i < text.size() && isIdentChar(text[i])) ++i;
+        std::string word = text.substr(start, i - start);
+        // Encoding-prefixed ordinary strings: u8"...", L"...", u"...".
+        if (i < text.size() && text[i] == '"' &&
+            (word == "u8" || word == "u" || word == "U" || word == "L")) {
+          push(Tok::kString, quoted('"'), line, atCol);
+          continue;
+        }
+        push(Tok::kIdent, std::move(word), line, atCol);
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        const std::size_t start = i;
+        const std::uint32_t atCol = col();
+        while (i < text.size() &&
+               (isIdentChar(text[i]) || text[i] == '.' || text[i] == '\'' ||
+                ((text[i] == '+' || text[i] == '-') &&
+                 (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                  text[i - 1] == 'p' || text[i - 1] == 'P'))))
+          ++i;
+        push(Tok::kNumber, text.substr(start, i - start), line, atCol);
+        continue;
+      }
+      // Punctuation, longest match first.
+      bool matched = false;
+      for (const char* p : kPuncts) {
+        if (startsWith(text, i, p)) {
+          const std::uint32_t atCol = col();
+          push(Tok::kPunct, p, line, atCol);
+          i += std::string(p).size();
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      push(Tok::kPunct, std::string(1, c), line, col());
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+LexedFile lexString(const std::string& path, const std::string& contents) {
+  LexedFile out;
+  out.path = path;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= contents.size(); ++i) {
+    if (i == contents.size() || contents[i] == '\n') {
+      out.rawLines.push_back(contents.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (!out.rawLines.empty() && out.rawLines.back().empty() &&
+      !contents.empty() && contents.back() == '\n')
+    out.rawLines.pop_back();
+  Lexer lx{contents, out};
+  lx.run();
+  return out;
+}
+
+LexedFile lex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    LexedFile out;
+    out.path = path;
+    out.ioError = true;
+    return out;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return lexString(path, ss.str());
+}
+
+}  // namespace srclint

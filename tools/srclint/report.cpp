@@ -1,0 +1,268 @@
+#include "report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace srclint {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// JSON string escaping for the writers (the reader is obs/json).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string relPath(const std::string& path, const std::string& root) {
+  if (root.empty()) return path;
+  std::string prefix = root;
+  if (prefix.back() != '/') prefix.push_back('/');
+  if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0)
+    return path.substr(prefix.size());
+  return path;
+}
+
+std::vector<Reported> prepare(const std::vector<AnalyzedFile>& files,
+                              const std::vector<Finding>& findings,
+                              const std::string& root) {
+  std::map<std::string, const AnalyzedFile*> byPath;
+  for (const AnalyzedFile& f : files) byPath.emplace(f.lex.path, &f);
+  std::vector<Reported> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) {
+    Reported r;
+    r.f = f;
+    r.f.file = relPath(f.file, root);
+    std::string lineText;
+    const auto it = byPath.find(f.file);
+    if (it != byPath.end() && f.line >= 1 &&
+        f.line <= it->second->lex.rawLines.size())
+      lineText = trimmed(it->second->lex.rawLines[f.line - 1]);
+    r.fingerprint = hex64(fnv1a64(f.rule + "|" + r.f.file + "|" + lineText));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+bool loadBaseline(const std::string& path, Baseline& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open baseline file " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string parseError;
+  const auto doc = bgckpt::obs::json::parse(ss.str(), &parseError);
+  if (!doc || !doc->isObject()) {
+    error = "malformed baseline " + path + ": " +
+            (parseError.empty() ? "not a JSON object" : parseError);
+    return false;
+  }
+  if (doc->stringOr("version", "") != "srclint-baseline-1") {
+    error = "baseline " + path + " has unknown version (want srclint-baseline-1)";
+    return false;
+  }
+  const auto* entries = doc->find("entries");
+  if (entries == nullptr || !entries->isArray()) {
+    error = "baseline " + path + " is missing the entries array";
+    return false;
+  }
+  for (const auto& e : *entries->array) {
+    if (!e.isObject()) {
+      error = "baseline " + path + " has a non-object entry";
+      return false;
+    }
+    BaselineEntry be;
+    be.rule = e.stringOr("rule", "");
+    be.file = e.stringOr("file", "");
+    be.fingerprint = e.stringOr("fingerprint", "");
+    be.note = e.stringOr("note", "");
+    if (be.rule.empty() || be.file.empty() || be.fingerprint.empty()) {
+      error = "baseline " + path +
+              " entry is missing rule/file/fingerprint fields";
+      return false;
+    }
+    out.entries.push_back(std::move(be));
+  }
+  return true;
+}
+
+void applyBaseline(std::vector<Reported>& findings, Baseline& baseline) {
+  for (Reported& r : findings) {
+    for (BaselineEntry& e : baseline.entries) {
+      if (e.rule == r.f.rule && e.file == r.f.file &&
+          e.fingerprint == r.fingerprint) {
+        r.baselined = true;
+        e.matched = true;
+      }
+    }
+  }
+  for (const BaselineEntry& e : baseline.entries) {
+    if (e.matched) continue;
+    Reported r;
+    r.f.file = e.file;
+    r.f.line = 0;
+    r.f.rule = "baseline-stale";
+    r.f.message =
+        "baseline entry for rule `" + e.rule + "` (fingerprint " +
+        e.fingerprint +
+        ") matches no current finding; the code it suppressed was fixed or "
+        "changed — delete the entry (or regenerate with --write-baseline)";
+    r.fingerprint = e.fingerprint;
+    findings.push_back(std::move(r));
+  }
+}
+
+bool writeBaselineFile(const std::string& path,
+                       const std::vector<Reported>& findings) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "{\n  \"version\": \"srclint-baseline-1\",\n  \"entries\": [";
+  bool first = true;
+  for (const Reported& r : findings) {
+    if (r.f.rule == "baseline-stale") continue;
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"rule\": \"" << jsonEscape(r.f.rule) << "\", \"file\": \""
+        << jsonEscape(r.f.file) << "\", \"fingerprint\": \"" << r.fingerprint
+        << "\", \"note\": \"accepted pre-existing finding at line "
+        << r.f.line << "\"}";
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return static_cast<bool>(out);
+}
+
+void printText(std::ostream& os, const std::vector<Reported>& findings) {
+  for (const Reported& r : findings) {
+    if (r.baselined) continue;
+    os << r.f.file << ":" << r.f.line << ": [" << r.f.rule << "] "
+       << r.f.message << "\n";
+  }
+}
+
+bool writeSarif(const std::string& path,
+                const std::vector<Reported>& findings) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const auto& rules = ruleRegistry();
+  std::map<std::string, std::size_t> ruleIndex;
+  for (std::size_t i = 0; i < rules.size(); ++i)
+    ruleIndex.emplace(rules[i].name, i);
+
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n"
+      << "      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"srclint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/bgckpt/tools/srclint\",\n"
+      << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\"id\": \"" << rules[i].name
+        << "\", \"shortDescription\": {\"text\": \""
+        << jsonEscape(rules[i].summary)
+        << "\"}, \"fullDescription\": {\"text\": \""
+        << jsonEscape(rules[i].explain)
+        << "\"}, \"properties\": {\"family\": \"" << rules[i].family << "\"}}"
+        << (i + 1 < rules.size() ? ",\n" : "\n");
+  }
+  out << "          ]\n        }\n      },\n"
+      << "      \"results\": [";
+  bool first = true;
+  for (const Reported& r : findings) {
+    if (r.baselined) continue;
+    out << (first ? "\n" : ",\n");
+    first = false;
+    const std::uint32_t line = r.f.line >= 1 ? r.f.line : 1;
+    out << "        {\"ruleId\": \"" << jsonEscape(r.f.rule) << "\"";
+    const auto it = ruleIndex.find(r.f.rule);
+    if (it != ruleIndex.end()) out << ", \"ruleIndex\": " << it->second;
+    out << ", \"level\": \"error\", \"message\": {\"text\": \""
+        << jsonEscape(r.f.message) << "\"}, \"locations\": [{"
+        << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+        << jsonEscape(r.f.file) << "\"}, \"region\": {\"startLine\": " << line
+        << "}}}], \"partialFingerprints\": {\"srclintFingerprint/v1\": \""
+        << r.fingerprint << "\"}}";
+  }
+  out << (first ? "]\n" : "\n      ]\n") << "    }\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+void printCounts(std::ostream& os, const std::vector<Reported>& findings) {
+  std::map<std::string, std::size_t> counts;
+  std::size_t total = 0;
+  for (const Reported& r : findings) {
+    if (r.baselined) continue;
+    ++counts[r.f.rule];
+    ++total;
+  }
+  os << "| rule | family | findings |\n|---|---|---:|\n";
+  for (const RuleInfo& r : ruleRegistry()) {
+    const auto it = counts.find(r.name);
+    os << "| `" << r.name << "` | " << r.family << " | "
+       << (it == counts.end() ? 0 : it->second) << " |\n";
+    if (it != counts.end()) counts.erase(it);
+  }
+  for (const auto& [rule, n] : counts)  // e.g. io errors
+    os << "| `" << rule << "` | - | " << n << " |\n";
+  os << "| **total** | | **" << total << "** |\n";
+}
+
+}  // namespace srclint

@@ -1,0 +1,75 @@
+// srclint reporting: text output, the checked-in baseline, SARIF 2.1.0,
+// and the per-rule count table CI pastes into the job summary.
+//
+// Findings are keyed by a content fingerprint (rule | relative path |
+// trimmed line text) rather than a line number, so a baseline entry
+// survives unrelated edits above it but expires the moment the offending
+// line changes — and an expired (stale) entry is itself a finding, which
+// keeps the baseline honest.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace srclint {
+
+/// A finding prepared for reporting: path relativized against --root and
+/// fingerprinted against the offending line's text.
+struct Reported {
+  Finding f;                // f.file is the --root-relative path
+  std::string fingerprint;  // fnv1a64 hex of rule|file|trimmed line
+  bool baselined = false;
+};
+
+std::uint64_t fnv1a64(const std::string& s);
+
+/// Make `path` relative to `root` (both as given on the command line);
+/// returns `path` unchanged when it is not under `root`.
+std::string relPath(const std::string& path, const std::string& root);
+
+std::vector<Reported> prepare(const std::vector<AnalyzedFile>& files,
+                              const std::vector<Finding>& findings,
+                              const std::string& root);
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string fingerprint;
+  std::string note;
+  bool matched = false;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Load a baseline file. Returns false (with `error` set) on unreadable or
+/// malformed input — a broken baseline must fail the build, not silently
+/// suppress nothing.
+bool loadBaseline(const std::string& path, Baseline& out, std::string& error);
+
+/// Mark reported findings present in the baseline and append one
+/// `baseline-stale` finding per entry that no longer matches anything.
+void applyBaseline(std::vector<Reported>& findings, Baseline& baseline);
+
+/// Write all current findings (sans any baseline-stale ones) as a fresh
+/// baseline file.
+bool writeBaselineFile(const std::string& path,
+                       const std::vector<Reported>& findings);
+
+/// `file:line: [rule] message` for every non-baselined finding.
+void printText(std::ostream& os, const std::vector<Reported>& findings);
+
+/// SARIF 2.1.0 document: every rule in the catalog under
+/// tool.driver.rules, one result per non-baselined finding.
+bool writeSarif(const std::string& path,
+                const std::vector<Reported>& findings);
+
+/// Markdown per-rule count table (all catalog rules, zero rows included).
+void printCounts(std::ostream& os, const std::vector<Reported>& findings);
+
+}  // namespace srclint

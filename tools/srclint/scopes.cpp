@@ -1,0 +1,410 @@
+#include "scopes.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace srclint {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool isPunct(const Token& t, const char* s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+
+bool isIdent(const Token& t, const char* s) {
+  return t.kind == Tok::kIdent && t.text == s;
+}
+
+bool identIn(const Token& t, std::initializer_list<const char*> names) {
+  if (t.kind != Tok::kIdent) return false;
+  for (const char* n : names)
+    if (t.text == n) return true;
+  return false;
+}
+
+/// Is the '[' at `at` a lambda introducer? True in expression context:
+/// after an operator, an opening bracket, a statement boundary, or a
+/// keyword that begins an expression. False after a value (subscript) or
+/// another '[' (attribute).
+bool lambdaIntro(const std::vector<Token>& toks, std::size_t at) {
+  if (at == 0) return true;
+  const Token& p = toks[at - 1];
+  if (p.kind == Tok::kIdent)
+    return identIn(p, {"return", "co_return", "co_await", "co_yield"});
+  if (p.kind != Tok::kPunct) return false;
+  static const char* kExprContext[] = {
+      "(", ",", "{", ";", "}", "=", "?", ":",  "&&", "||", "!",  "<",
+      ">", "+", "-", "*", "/", "%", "|", "&",  "^",  "<<", ">>", "==",
+      "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+  };
+  for (const char* s : kExprContext)
+    if (p.text == s) return true;
+  return false;
+}
+
+struct Classifier {
+  const std::vector<Token>& toks;
+  const std::vector<std::size_t>& match;
+
+  struct Result {
+    ScopeKind kind = ScopeKind::kBlock;
+    std::string name;
+    std::size_t paramsOpen = 0;
+    std::size_t paramsClose = 0;
+    std::size_t captureOpen = 0;
+    std::size_t captureClose = 0;
+  };
+
+  /// Classify the brace group opened by the '(' at `o` followed (possibly
+  /// with trailing specifiers) by the '{' being classified. Decides
+  /// function vs lambda vs control-flow block vs constructor-with-init-list.
+  Result fromParen(std::size_t o, int depth) {
+    Result r;
+    if (o == 0 || depth > 8) return r;
+    const Token& before = toks[o - 1];
+    if (isPunct(before, "]")) {
+      const std::size_t cap = match[o - 1];
+      if (cap != kNone && lambdaIntro(toks, cap)) {
+        r.kind = ScopeKind::kLambda;
+        r.captureOpen = cap;
+        r.captureClose = o - 1;
+        r.paramsOpen = o;
+        r.paramsClose = match[o];
+        r.name = lambdaName(cap);
+      }
+      return r;
+    }
+    if (isPunct(before, ")")) {
+      // `operator()(params) {`: the earlier () group names the call
+      // operator.
+      const std::size_t ob = match[o - 1];
+      if (ob != kNone && ob > 0 && isIdent(toks[ob - 1], "operator")) {
+        r.kind = ScopeKind::kFunction;
+        r.name = "operator()";
+        r.paramsOpen = o;
+        r.paramsClose = match[o];
+      }
+      return r;
+    }
+    if (before.kind != Tok::kIdent) return r;
+    if (identIn(before, {"if", "for", "while", "switch", "catch", "return",
+                         "co_return", "co_await", "co_yield", "new"}))
+      return r;  // control flow or expression: a plain block
+    if (isIdent(before, "noexcept")) {
+      // `) noexcept(...) {` — keep looking left for the real param list.
+      std::size_t q = o - 2;
+      while (q != kNone && q > 0 &&
+             !isPunct(toks[q], ")") && !isPunct(toks[q], ";") &&
+             !isPunct(toks[q], "{") && !isPunct(toks[q], "}"))
+        --q;
+      if (q != kNone && isPunct(toks[q], ")") && match[q] != kNone)
+        return fromParen(match[q], depth + 1);
+      return r;
+    }
+    // `name(...)` directly before the brace. Either a function definition
+    // or the last element of a constructor's member-init list: scan left
+    // for `: ... )` to find the true parameter list.
+    std::size_t q = o - 2;  // before the name
+    bool sawColon = false;
+    while (q != kNone && static_cast<std::ptrdiff_t>(q) >= 0) {
+      const Token& t = toks[q];
+      if (isPunct(t, ":")) {
+        sawColon = true;
+        --q;
+        continue;
+      }
+      if (isPunct(t, ")") && sawColon && match[q] != kNone)
+        return fromParen(match[q], depth + 1);
+      if (isPunct(t, "]") && match[q] != kNone) {
+        q = match[q] == 0 ? kNone : match[q] - 1;
+        continue;
+      }
+      if (isPunct(t, ")") && match[q] != kNone) {
+        // `T f() g() {` is not C++; a ')' without an intervening ':' means
+        // we misread — treat the nearest group as the list.
+        break;
+      }
+      if (t.kind == Tok::kIdent || isPunct(t, "::") || isPunct(t, "<") ||
+          isPunct(t, ">") || isPunct(t, ",") || isPunct(t, "&") ||
+          isPunct(t, "*") || isPunct(t, "&&") || isPunct(t, "~") ||
+          t.kind == Tok::kNumber || t.kind == Tok::kString) {
+        --q;
+        continue;
+      }
+      break;
+    }
+    r.kind = ScopeKind::kFunction;
+    r.name = before.text;
+    r.paramsOpen = o;
+    r.paramsClose = match[o];
+    return r;
+  }
+
+  /// For `auto name = [..]`, recover `name` from the tokens before the
+  /// capture introducer so call sites can resolve the lambda.
+  std::string lambdaName(std::size_t capOpen) const {
+    if (capOpen < 2) return "";
+    if (!isPunct(toks[capOpen - 1], "=")) return "";
+    const Token& nm = toks[capOpen - 2];
+    return nm.kind == Tok::kIdent ? nm.text : "";
+  }
+
+  Result classify(std::size_t brace) {
+    Result r;
+    std::size_t p = brace;
+    std::string lastIdent;
+    while (p > 0) {
+      --p;
+      const Token& t = toks[p];
+      if (t.kind == Tok::kIdent) {
+        if (identIn(t, {"do", "try", "else"})) return r;
+        if (isIdent(t, "namespace")) {
+          r.kind = ScopeKind::kNamespace;
+          r.name = lastIdent;
+          return r;
+        }
+        if (identIn(t, {"class", "struct", "union", "enum"})) {
+          r.kind = ScopeKind::kType;
+          r.name = lastIdent;
+          return r;
+        }
+        if (identIn(t, {"if", "for", "while", "switch", "catch", "return",
+                        "co_return", "co_await", "co_yield", "case",
+                        "default", "sizeof", "new"}))
+          return r;
+        lastIdent = t.text;
+        continue;
+      }
+      if (t.kind == Tok::kNumber || t.kind == Tok::kString ||
+          t.kind == Tok::kChar)
+        return r;
+      // Punctuation.
+      if (t.text == ")") {
+        if (match[p] == kNone) return r;
+        return fromParen(match[p], 0);
+      }
+      if (t.text == "]") {
+        if (match[p] == kNone) return r;
+        const std::size_t ob = match[p];
+        if (lambdaIntro(toks, ob)) {
+          // `[caps] { ... }` — a lambda with no parameter list.
+          r.kind = ScopeKind::kLambda;
+          r.captureOpen = ob;
+          r.captureClose = p;
+          r.name = lambdaName(ob);
+          return r;
+        }
+        p = ob == 0 ? 0 : ob;  // attribute or subscript: skip the group
+        continue;
+      }
+      if (t.text == ";" || t.text == "{" || t.text == "}") return r;
+      if (t.text == "::" || t.text == "<" || t.text == ">" ||
+          t.text == "&" || t.text == "*" || t.text == "&&" ||
+          t.text == "->" || t.text == ":" || t.text == ",")
+        continue;
+      return r;  // '=', '(', arithmetic: braced initializer or expression
+    }
+    return r;
+  }
+};
+
+bool scopePathIsNamespaceOnly(const ScopeModel& model, int scope) {
+  for (int s = scope; s != -1; s = model.scopes[static_cast<std::size_t>(s)].parent)
+    if (model.scopes[static_cast<std::size_t>(s)].kind != ScopeKind::kNamespace)
+      return false;
+  return true;
+}
+
+const std::set<std::string> kExemptQualifiers = {
+    "const",  "constexpr", "consteval",   "constinit", "thread_local",
+    "atomic", "atomic_flag", "mutex",     "shared_mutex", "recursive_mutex",
+    "once_flag", "condition_variable", "barrier", "latch",
+};
+
+const std::set<std::string> kNonVarStatement = {
+    "using",    "typedef",  "namespace", "class",  "struct",
+    "union",    "enum",     "template",  "extern", "friend",
+    "static_assert", "concept", "requires", "operator", "public",
+    "private",  "protected", "goto",     "asm",
+};
+
+/// Extract namespace-scope variable declarations from the statements that
+/// live directly in namespace (or file) scope.
+void extractNamespaceVars(const LexedFile& file, ScopeModel& model) {
+  const auto& toks = file.tokens;
+  std::vector<std::size_t> stmt;  // token indices of the current statement
+  const auto flush = [&](std::size_t endTok) {
+    if (stmt.empty()) return;
+    bool skip = false;
+    bool exempt = false;
+    bool isStatic = false;
+    bool sawParen = false;
+    bool sawAssign = false;
+    std::size_t assignAt = kNone;
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const Token& t = toks[stmt[k]];
+      if (t.kind == Tok::kIdent) {
+        if (kNonVarStatement.count(t.text) != 0) skip = true;
+        if (kExemptQualifiers.count(t.text) != 0) exempt = true;
+        if (t.text == "static") isStatic = true;
+      } else if (t.kind == Tok::kPunct) {
+        if (t.text == "(" && !sawAssign) sawParen = true;
+        if (t.text == "=" && !sawAssign) {
+          sawAssign = true;
+          assignAt = k;
+        }
+      }
+    }
+    const std::size_t nameSearchEnd = sawAssign ? assignAt : stmt.size();
+    if (skip || (sawParen && !sawAssign)) {
+      stmt.clear();
+      return;  // not a variable: directive, type, or function declaration
+    }
+    // Name: the last identifier before `=` / `;` / `[` / a braced init.
+    std::size_t nameTok = kNone;
+    for (std::size_t k = 0; k < nameSearchEnd; ++k) {
+      const Token& t = toks[stmt[k]];
+      if (t.kind == Tok::kIdent && kExemptQualifiers.count(t.text) == 0 &&
+          t.text != "static" && t.text != "inline" && t.text != "std")
+        nameTok = stmt[k];
+      if (t.kind == Tok::kPunct && t.text == "[") break;
+    }
+    (void)endTok;
+    if (nameTok != kNone) {
+      NamespaceVar v;
+      v.name = toks[nameTok].text;
+      v.line = toks[nameTok].line;
+      v.isStatic = isStatic;
+      v.isExempt = exempt;
+      v.declTok = nameTok;
+      model.namespaceVars.push_back(std::move(v));
+    }
+    stmt.clear();
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const int sc = model.enclosing[i];
+    if (!scopePathIsNamespaceOnly(model, sc)) continue;
+    const Token& t = toks[i];
+    if (t.kind == Tok::kPunct && (t.text == "{" || t.text == "}")) {
+      // Scope punctuation at namespace level: `namespace x {`, `}` — both
+      // end any pending statement fragment (e.g. a braced initializer's
+      // `std::mutex m` prefix flushes when its init block closes).
+      if (t.text == "{" && model.match[i] != kNone) {
+        // A braced initializer at namespace scope (`T x{...};`) opens a
+        // kBlock scope; keep the prefix pending until the `;` after it.
+        const auto braceScope = std::find_if(
+            model.scopes.begin(), model.scopes.end(),
+            [&](const Scope& s) { return s.open == i; });
+        if (braceScope != model.scopes.end() &&
+            braceScope->kind == ScopeKind::kBlock)
+          continue;
+      }
+      stmt.clear();
+      continue;
+    }
+    if (t.kind == Tok::kPunct && t.text == ";") {
+      flush(i);
+      continue;
+    }
+    stmt.push_back(i);
+  }
+}
+
+}  // namespace
+
+int ScopeModel::enclosingOf(std::size_t t, ScopeKind kind) const {
+  for (int s = enclosing[t]; s != -1;
+       s = scopes[static_cast<std::size_t>(s)].parent)
+    if (scopes[static_cast<std::size_t>(s)].kind == kind) return s;
+  return -1;
+}
+
+int ScopeModel::enclosingCallable(std::size_t t) const {
+  for (int s = enclosing[t]; s != -1;
+       s = scopes[static_cast<std::size_t>(s)].parent) {
+    const ScopeKind k = scopes[static_cast<std::size_t>(s)].kind;
+    if (k == ScopeKind::kFunction || k == ScopeKind::kLambda) return s;
+  }
+  return -1;
+}
+
+ScopeModel buildScopes(const LexedFile& file) {
+  const auto& toks = file.tokens;
+  ScopeModel model;
+  model.match.assign(toks.size(), kNone);
+  model.enclosing.assign(toks.size(), -1);
+
+  // Pass 1: bracket matching for () [] {}.
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != Tok::kPunct) continue;
+      const std::string& s = toks[i].text;
+      if (s == "(" || s == "[" || s == "{") {
+        stack.push_back(i);
+      } else if (s == ")" || s == "]" || s == "}") {
+        const char open = s == ")" ? '(' : s == "]" ? '[' : '{';
+        // Pop until the matching opener kind (tolerates unbalanced input).
+        while (!stack.empty() && toks[stack.back()].text[0] != open)
+          stack.pop_back();
+        if (!stack.empty()) {
+          model.match[stack.back()] = i;
+          model.match[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Pass 2: scope construction with classification at each '{'.
+  {
+    Classifier cls{toks, model.match};
+    std::vector<int> stack;  // scope indices
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      model.enclosing[i] = stack.empty() ? -1 : stack.back();
+      if (toks[i].kind != Tok::kPunct) continue;
+      if (toks[i].text == "{") {
+        const auto r = cls.classify(i);
+        Scope sc;
+        sc.kind = r.kind;
+        sc.open = i;
+        sc.close = model.match[i] == kNone ? i : model.match[i];
+        sc.parent = stack.empty() ? -1 : stack.back();
+        sc.name = r.name;
+        sc.paramsOpen = r.paramsOpen;
+        sc.paramsClose = r.paramsClose == kNone ? 0 : r.paramsClose;
+        sc.captureOpen = r.captureOpen;
+        sc.captureClose = r.captureClose;
+        model.scopes.push_back(std::move(sc));
+        stack.push_back(static_cast<int>(model.scopes.size() - 1));
+        model.enclosing[i] = stack.back();
+      } else if (toks[i].text == "}") {
+        if (!stack.empty()) {
+          model.enclosing[i] = stack.back();
+          stack.pop_back();
+        }
+      }
+    }
+  }
+
+  // Pass 3: coroutine marking — a co_* keyword marks its innermost
+  // enclosing callable (so a nested plain lambda inside a coroutine does
+  // not inherit the property, and vice versa).
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (t.text != "co_await" && t.text != "co_return" && t.text != "co_yield")
+      continue;
+    const int callable = model.enclosingCallable(i);
+    if (callable != -1)
+      model.scopes[static_cast<std::size_t>(callable)].isCoroutine = true;
+  }
+
+  extractNamespaceVars(file, model);
+  return model;
+}
+
+}  // namespace srclint

@@ -1,0 +1,81 @@
+// srclint scope model: balanced-brace scope tracking plus function,
+// lambda, and namespace-scope-declaration extraction over the token stream.
+//
+// This is what separates the scope-aware rules from the old line-regex
+// tool: a rule can ask "is this co_await inside a coroutine lambda's own
+// body (not a nested lambda)?", "which parameters of the function being
+// spawned are references?", or "is this declaration at namespace scope?" —
+// questions with no single-line answer.
+//
+// The classifier is heuristic (srclint is not a compiler front end) but it
+// is conservative and deterministic: every '{' is matched to its '}', and
+// every brace pair is classified as one of namespace / type / function /
+// lambda / block-or-initializer by looking backward at what introduced it.
+// Misclassification degrades to a missed or baseline-able finding, never a
+// crash; the fixture suite pins the shapes the codebase actually uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace srclint {
+
+enum class ScopeKind : std::uint8_t {
+  kNamespace,
+  kType,      // class / struct / union / enum
+  kFunction,  // free or member function definition (incl. ctor/dtor)
+  kLambda,
+  kBlock,     // control-flow block, braced initializer, try, etc.
+};
+
+/// One brace-delimited scope. Token indices refer into LexedFile::tokens;
+/// `open`/`close` are the '{' and '}' positions (close == open when the
+/// file ends unbalanced — the tracker clamps rather than throws).
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  std::size_t open = 0;
+  std::size_t close = 0;
+  int parent = -1;  // index into ScopeModel::scopes, -1 = file scope
+  /// Function / lambda details (valid when kind is kFunction / kLambda).
+  std::string name;          // empty for unnamed lambdas; for lambdas bound
+                             // with `auto f = [...]`, the variable name
+  std::size_t paramsOpen = 0;   // '(' of the parameter list (0 = none)
+  std::size_t paramsClose = 0;  // matching ')'
+  std::size_t captureOpen = 0;  // lambda '[' (0 = not a lambda)
+  std::size_t captureClose = 0;
+  bool isCoroutine = false;  // body contains co_await/co_yield/co_return
+                             // at this scope's own nesting (nested lambdas
+                             // excluded)
+};
+
+/// A variable declared at namespace (or file) scope.
+struct NamespaceVar {
+  std::string name;
+  std::uint32_t line = 0;
+  bool isStatic = false;       // carries the `static` keyword
+  bool isExempt = false;       // const/constexpr/atomic/mutex/... on the
+                               // declaration: immutable or self-synchronized
+  std::size_t declTok = 0;     // token index of the name
+};
+
+struct ScopeModel {
+  std::vector<Scope> scopes;          // in order of '{' appearance
+  std::vector<NamespaceVar> namespaceVars;
+  /// match[i] = token index of the partner bracket for tokens[i] when
+  /// tokens[i] is one of ()[]{}; SIZE_MAX otherwise or when unbalanced.
+  std::vector<std::size_t> match;
+  /// Innermost scope index containing each token (-1 = file scope).
+  std::vector<int> enclosing;
+
+  /// Innermost enclosing scope of `kind` at token `t`, or -1.
+  int enclosingOf(std::size_t t, ScopeKind kind) const;
+  /// Innermost function-or-lambda scope at token `t`, or -1.
+  int enclosingCallable(std::size_t t) const;
+};
+
+ScopeModel buildScopes(const LexedFile& file);
+
+}  // namespace srclint
