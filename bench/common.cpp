@@ -21,6 +21,7 @@
 #include "obs/critpath.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/optrace.hpp"
+#include "obs/runtimeprof.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
@@ -40,6 +41,14 @@ bool gOpTraceEnabled = false;
 std::string gOpTracePath;
 std::uint32_t gOpTraceSampleEvery = 0;  // 0 = OpTracer::kDefaultSampleEvery
 std::string gObsDir;
+std::string gRuntimeProfPath;
+std::string gRuntimeTracePath;
+// The process-wide runtime profiler (obs/runtimeprof.hpp), created and
+// installed by obsInit when --runtime-profile is given; flushed (JSON +
+// manifest + optional Chrome trace) by perfFlush. Process-global rather
+// than per-stack: real time cuts across stacks.
+std::unique_ptr<obs::RuntimeProfiler> gRuntimeProf;
+bool gRuntimeProfFlushed = false;
 // Captured by obsInit for the run manifests written next to each artifact.
 std::string gBenchName;
 std::vector<std::string> gCmdArgs;
@@ -170,6 +179,7 @@ void writeManifest(const std::string& artifactPath, const char* artifact,
   flag("--optrace", gOpTraceEnabled);
   flag("--obs-dir", !gObsDir.empty());
   flag("--flightrec", gFlightRecEvents > 0);
+  flag("--runtime-profile", !gRuntimeProfPath.empty());
   std::fprintf(f, "],\n  \"args\": [");
   for (std::size_t i = 0; i < gCmdArgs.size(); ++i)
     std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
@@ -234,6 +244,14 @@ void obsInit(int argc, char** argv) {
       }
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
         gOpTracePath = argv[++i];
+    } else if (std::strcmp(a, "--runtime-profile") == 0) {
+      gRuntimeProfPath = "runtimeprof.json";
+    } else if (std::strncmp(a, "--runtime-profile=", 18) == 0) {
+      gRuntimeProfPath = a + 18;
+    } else if (std::strcmp(a, "--runtime-trace") == 0 && i + 1 < argc) {
+      gRuntimeTracePath = argv[++i];
+    } else if (std::strncmp(a, "--runtime-trace=", 16) == 0) {
+      gRuntimeTracePath = a + 16;
     } else if (std::strcmp(a, "--obs-dir") == 0 && i + 1 < argc) {
       gObsDir = argv[++i];
     } else if (std::strncmp(a, "--obs-dir=", 10) == 0) {
@@ -284,6 +302,28 @@ void obsInit(int argc, char** argv) {
     derive(gTelemetryPath, "telemetry.json");
     gOpTraceEnabled = true;
     derive(gOpTracePath, "optrace.json");
+    // Deliberately NOT derived: the runtime profile records wall time, so
+    // its JSON can never be byte-stable; keeping it out of the obs dir
+    // keeps the serial-vs-threaded artifact identity contract intact.
+  }
+  if (!gRuntimeProfPath.empty()) {
+    // Fail a typo'd path at startup (exit 2), same contract as --trace.
+    {
+      std::ofstream probe(gRuntimeProfPath);
+      if (!probe) {
+        std::fprintf(stderr, "error: --runtime-profile: cannot open %s\n",
+                     gRuntimeProfPath.c_str());
+        std::exit(2);
+      }
+    }
+    obs::RuntimeProfiler::Config cfg;
+    if (!gRuntimeTracePath.empty()) cfg.maxSpansPerRun = 200000;
+    gRuntimeProf = std::make_unique<obs::RuntimeProfiler>(cfg);
+    gRuntimeProf->install();
+    std::fprintf(stderr, "[obs] runtime execution profile to %s%s%s\n",
+                 gRuntimeProfPath.c_str(),
+                 gRuntimeTracePath.empty() ? "" : ", worker spans to ",
+                 gRuntimeTracePath.c_str());
   }
 }
 
@@ -291,14 +331,56 @@ sim::SimCheckMode simCheckMode() { return gSimCheckMode; }
 
 unsigned benchThreads() { return gThreads; }
 
+bool runtimeProfileActive() { return gRuntimeProf != nullptr; }
+
 void perfRecord(const std::string& label, double wallSeconds,
                 std::uint64_t events, unsigned threads) {
+  if (gRuntimeProf)
+    gRuntimeProf->recordPoint(label, wallSeconds, events,
+                              threads > 0 ? threads : gThreads);
   if (gPerfJsonPath.empty()) return;
   gPerfEntries.push_back(
       PerfEntry{label, wallSeconds, events, threads > 0 ? threads : gThreads});
 }
 
+namespace {
+
+/// Export the runtime profile (once): JSON + manifest sidecar, plus the
+/// Chrome trace when --runtime-trace asked for one. Announces on stderr so
+/// figure stdout stays byte-identical with profiling on.
+bool runtimeProfFlush() {
+  if (!gRuntimeProf || gRuntimeProfFlushed) return true;
+  gRuntimeProfFlushed = true;
+  // Stop observing before export: no run should be in flight at flush
+  // time, and uninstalling makes that a hard property.
+  gRuntimeProf->uninstall();
+  if (!gRuntimeProf->writeJson(gRuntimeProfPath)) {
+    std::fprintf(stderr, "error: --runtime-profile: cannot write %s\n",
+                 gRuntimeProfPath.c_str());
+    return false;
+  }
+  writeManifest(gRuntimeProfPath, "runtimeprof", 0, 0);
+  std::fprintf(stderr,
+               "[obs] runtime profile: %zu shard run(s), %zu parallel "
+               "region(s), %zu point(s) -> %s\n",
+               gRuntimeProf->shardRuns().size(), gRuntimeProf->regions().size(),
+               gRuntimeProf->points().size(), gRuntimeProfPath.c_str());
+  if (!gRuntimeTracePath.empty()) {
+    if (!gRuntimeProf->writeChromeTrace(gRuntimeTracePath)) {
+      std::fprintf(stderr, "error: --runtime-trace: cannot write %s\n",
+                   gRuntimeTracePath.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "[obs] runtime worker spans -> %s\n",
+                 gRuntimeTracePath.c_str());
+  }
+  return true;
+}
+
+}  // namespace
+
 bool perfFlush() {
+  if (!runtimeProfFlush()) return false;
   if (gPerfJsonPath.empty()) return true;
   std::FILE* f = std::fopen(gPerfJsonPath.c_str(), "w");
   if (!f) {
@@ -528,6 +610,16 @@ void prefetchSims(const std::vector<SimPoint>& points) {
     CachedRun run;
   };
   std::vector<Slot> slots(points.size());
+  if (gRuntimeProf) {
+    // Name the parallelFor jobs after their figure points, so the profile's
+    // job table (and trace_report --runtime) says "np=65536 coIO nf=1"
+    // instead of "job 7".
+    std::vector<std::string> labels;
+    labels.reserve(points.size());
+    for (const SimPoint& p : points)
+      labels.push_back("np=" + std::to_string(p.np) + " " + p.cfg.describe());
+    gRuntimeProf->setPointLabels(std::move(labels));
+  }
   sim::parallelFor(points.size(), gThreads, [&](std::size_t i) {
     const SimPoint& p = points[i];
     iolib::SimStackOptions opt;

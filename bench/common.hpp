@@ -10,6 +10,7 @@
 //      the binary exit nonzero.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -81,6 +82,24 @@ std::string secs(double seconds);
 ///   --flightrec[=N]    keep a flight recorder of the last N (default 256)
 ///                      trace events per layer per stack; SimChecker
 ///                      violations and failed SHAPE CHECKs dump it to stderr
+///   --runtime-profile[=FILE]
+///                      real-time execution profile of the parallel engine
+///                      (obs/runtimeprof.hpp): per-shard window phase wall
+///                      times, critical-shard attribution, per-parallelFor-
+///                      job walls and per-point wall records. FILE defaults
+///                      to runtimeprof.json; written at perfFlush with a
+///                      manifest sidecar. Feed it to `trace_report
+///                      --runtime`. Wall-clock by nature, so the JSON is
+///                      NOT byte-stable across runs — it is deliberately
+///                      not derived by --obs-dir and excluded from artifact
+///                      identity comparisons. Figure stdout stays
+///                      byte-identical with profiling on (announce lines go
+///                      to stderr).
+///   --runtime-trace FILE
+///                      with --runtime-profile: also export the real-time
+///                      worker spans (window phases, tid = worker) as a
+///                      Chrome trace viewable next to the simulated-time
+///                      --trace output.
 ///   --threads=N        simulate the harness's independent points on N
 ///                      worker threads (default 1 = the serial reference).
 ///                      Results, stdout, and every perf/obs artifact are
@@ -98,6 +117,30 @@ void obsInit(int argc, char** argv);
 
 /// The worker-thread count requested with --threads (>= 1).
 unsigned benchThreads();
+
+/// True when --runtime-profile was requested (the profiler is installed as
+/// the process-wide sim::RuntimeObserver for the rest of the run).
+bool runtimeProfileActive();
+
+/// Wall-clock stopwatch for benchmark harnesses. Lives in bench/common on
+/// purpose: srclint's wall-clock rule bans host clocks everywhere else in
+/// bench/ and src/, so harness timing goes through this one allowlisted
+/// type instead of ad-hoc steady_clock calls (see tools/srclint rules.cpp,
+/// "wall-clock").
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Record one simulated run in the --perf-json report (no-op without the
 /// flag). The runSim overloads call this automatically; harnesses that

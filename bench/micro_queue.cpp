@@ -21,12 +21,13 @@
 // tools/perf_compare.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common.hpp"
 #include "machine/bgp.hpp"
+#include "obs/runtimeprof.hpp"
 #include "simcore/random.hpp"
 #include "simcore/scheduler.hpp"
 #include "simcore/shard.hpp"
@@ -172,13 +173,25 @@ struct ShardedRing {
   }
 };
 
-void runShardedRing(benchmark::State& state, bool threaded) {
+void runShardedRing(benchmark::State& state, bool threaded,
+                    bool profiled = false) {
   const auto shards = static_cast<unsigned>(state.range(0));
   const auto crossEvery = static_cast<int>(state.range(1));
   constexpr int kActors = 1024;  // total, split across shards
   constexpr int kRounds = 64;
   const Duration lookahead = bgckpt::machine::ComputeConfig{}.torusHopLatency;
   const unsigned threads = threaded ? shards : 1;
+  // The Profiled variant installs a scratch RuntimeProfiler so "Threaded vs
+  // Profiled" on the same filter is the active-overhead A/B; the plain
+  // variants run with the observer hooks dormant (the null-check branch),
+  // which is what the coop-vs-threaded speedup gate and the committed
+  // baselines keep honest. When --runtime-profile is already on, the
+  // process-wide profiler is left in place instead.
+  std::unique_ptr<bgckpt::obs::RuntimeProfiler> localProf;
+  if (profiled && !bgckpt::bench::runtimeProfileActive()) {
+    localProf = std::make_unique<bgckpt::obs::RuntimeProfiler>();
+    localProf->install();
+  }
   std::uint64_t events = 0;
   double wall = 0.0;
   for (auto _ : state) {
@@ -194,24 +207,26 @@ void runShardedRing(benchmark::State& state, bool threaded) {
         sched.scheduleCall(0.0, [&ring, shard, a] { ring.step(shard, a, 0); });
       });
     }
-    const auto wall0 = std::chrono::steady_clock::now();
+    const bgckpt::bench::WallTimer timer;
     const ShardGroup::Stats stats = group.run();
-    wall += std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          wall0)
-                .count();
+    wall += timer.seconds();
     events += stats.events;
     benchmark::DoNotOptimize(stats.events);
   }
+  if (localProf) localProf->uninstall();
   state.SetItemsProcessed(state.iterations() * kActors * kRounds);
   const std::string cross =
       crossEvery > 0 ? "1/" + std::to_string(crossEvery) : "none";
-  bgckpt::bench::perfRecord("sharded_ring shards=" + std::to_string(shards) +
-                                " cross=" + cross +
-                                (threaded ? " threaded" : " coop"),
-                            wall, events, threads);
+  bgckpt::bench::perfRecord(
+      "sharded_ring shards=" + std::to_string(shards) + " cross=" + cross +
+          (threaded ? " threaded" : " coop") + (profiled ? " profiled" : ""),
+      wall, events, threads);
 }
 void BM_ShardedRing_Coop(benchmark::State& s) { runShardedRing(s, false); }
 void BM_ShardedRing_Threaded(benchmark::State& s) { runShardedRing(s, true); }
+void BM_ShardedRing_Profiled(benchmark::State& s) {
+  runShardedRing(s, true, true);
+}
 // {shards, crossEvery}: cross-shard ratios 0, ~1.6% (1/64), 12.5% (1/8).
 // Iterations are pinned (not min-time adaptive) so a coop run and a threaded
 // run of the same case record identical event totals in --perf-json — that
@@ -236,6 +251,11 @@ BENCHMARK(BM_ShardedRing_Threaded)
     ->Args({4, 0})
     ->Args({4, 64})
     ->Args({4, 8})
+    ->Args({8, 0})
+    ->Args({8, 64})
+    ->Args({8, 8});
+BENCHMARK(BM_ShardedRing_Profiled)
+    ->Iterations(10)
     ->Args({8, 0})
     ->Args({8, 64})
     ->Args({8, 8});

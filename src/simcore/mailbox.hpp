@@ -72,6 +72,13 @@ class SpscRing {
 
   std::size_t capacity() const { return mask_ + 1; }
 
+  /// Producer-side occupancy (entries currently in flight). Only exact on
+  /// the producing thread; used for the mailbox high-water diagnostic.
+  std::size_t sizeProducer() const {
+    return head_.load(std::memory_order_relaxed) -
+           tail_.load(std::memory_order_acquire);
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;
@@ -86,13 +93,19 @@ class Mailbox {
 
   /// Producer (src shard's thread only).
   void push(RemoteEvent&& ev) {
-    if (ring_.tryPush(std::move(ev))) return;
+    if (ring_.tryPush(std::move(ev))) {
+      const std::size_t occ = ring_.sizeProducer();
+      if (occ > ringHighWater_) ringHighWater_ = occ;
+      return;
+    }
     // The ring is full for the rest of this window (the consumer only
     // drains at the boundary); spill under the lock. `ev` was not consumed
     // by the failed tryPush.
     std::lock_guard<std::mutex> lock(overflowMu_);
     overflow_.push_back(std::move(ev));
     ++overflowed_;
+    const std::size_t occ = ring_.capacity() + overflow_.size();
+    if (occ > ringHighWater_) ringHighWater_ = occ;
   }
 
   /// Consumer (dst shard's thread only), at a window boundary: append
@@ -106,14 +119,21 @@ class Mailbox {
   }
 
   /// Times the bounded ring spilled to the overflow path (a sizing
-  /// diagnostic, aggregated into ShardGroup::Stats).
+  /// diagnostic, surfaced per-(src,dst) in ShardGroup::Stats).
   std::uint64_t overflowed() const { return overflowed_; }
+
+  /// Peak in-flight occupancy seen by the producer (ring entries; counts
+  /// past the ring capacity while spilled). Tells you how much ring the
+  /// channel actually needed — the sizing signal a summed overflow count
+  /// destroys. Read post-run.
+  std::size_t ringHighWater() const { return ringHighWater_; }
 
  private:
   SpscRing<RemoteEvent> ring_;
   std::mutex overflowMu_;
   std::vector<RemoteEvent> overflow_;
   std::uint64_t overflowed_ = 0;  // written under overflowMu_, read post-run
+  std::size_t ringHighWater_ = 0;  // written by the producer, read post-run
 };
 
 }  // namespace bgckpt::sim

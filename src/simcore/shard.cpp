@@ -12,6 +12,23 @@
 
 namespace bgckpt::sim {
 
+namespace {
+// The process-wide runtime observer (shard.hpp). An atomic pointer, not a
+// plain global: installs happen on the main thread while no run is in
+// flight, reads happen from run()/parallelFor on any thread.
+std::atomic<RuntimeObserver*> gRuntimeObserver{nullptr};
+// Process-unique parallelFor region ids for the observer.
+std::atomic<std::uint64_t> gParallelForId{0};
+}  // namespace
+
+RuntimeObserver* setRuntimeObserver(RuntimeObserver* observer) noexcept {
+  return gRuntimeObserver.exchange(observer, std::memory_order_acq_rel);
+}
+
+RuntimeObserver* runtimeObserver() noexcept {
+  return gRuntimeObserver.load(std::memory_order_acquire);
+}
+
 ShardGroup::ShardGroup(const Config& config)
     : lookahead_(config.lookahead) {
   const unsigned s = config.shards == 0 ? 1 : config.shards;
@@ -60,12 +77,15 @@ void ShardGroup::send(unsigned from, unsigned to, Duration delay,
 
 void ShardGroup::runSetup(unsigned i) {
   ShardState& st = shards_[i];
+  if (prof_) prof_->phaseBegin(WindowPhase::kSetup, i);
   for (auto& fn : st.setup) fn(*st.sched);
   st.setup.clear();
+  if (prof_) prof_->phaseEnd(WindowPhase::kSetup, i, 0);
 }
 
 void ShardGroup::drainPhase(unsigned i) {
   ShardState& st = shards_[i];
+  if (prof_) prof_->phaseBegin(WindowPhase::kDrain, i);
   st.batch.clear();
   for (auto& box : st.inbox) box->drainInto(st.batch);
   // Deterministic merge: equal-time arrivals inject in (when, src, seq)
@@ -84,18 +104,24 @@ void ShardGroup::drainPhase(unsigned i) {
         WakeEdge{WakeKind::kMessageDeliver, "shard-mailbox"});
   st.delivered += st.batch.size();
   st.nextTime = st.sched->peekNextTime();
+  if (prof_) prof_->phaseEnd(WindowPhase::kDrain, i, st.batch.size());
 }
 
 void ShardGroup::execPhase(unsigned i, SimTime horizon) {
   ShardState& st = shards_[i];
+  if (prof_) prof_->phaseBegin(WindowPhase::kExec, i);
+  std::uint64_t ran = 0;
   try {
-    st.eventsRun += st.sched->runBefore(horizon);
+    ran = st.sched->runBefore(horizon);
+    st.eventsRun += ran;
   } catch (...) {
     st.error = std::current_exception();
   }
+  if (prof_) prof_->phaseEnd(WindowPhase::kExec, i, ran);
 }
 
 bool ShardGroup::computeWindow() {
+  if (prof_) prof_->phaseBegin(WindowPhase::kReduce, 0);
   SimTime minNext = std::numeric_limits<SimTime>::infinity();
   bool failed = false;
   for (const ShardState& st : shards_) {
@@ -105,12 +131,23 @@ bool ShardGroup::computeWindow() {
   // After a drain phase nothing is in flight (every send of the previous
   // window happened before the exec barrier, so the drain saw it), so an
   // all-infinite reduction means global completion.
-  if (failed || minNext == std::numeric_limits<SimTime>::infinity()) {
+  const bool finished =
+      failed || minNext == std::numeric_limits<SimTime>::infinity();
+  if (!finished) {
+    horizon_ = minNext + lookahead_;
+    ++windows_;
+  }
+  if (prof_) {
+    const unsigned s = shards();
+    for (unsigned i = 0; i < s; ++i) nextScratch_[i] = shards_[i].nextTime;
+    prof_->phaseEnd(WindowPhase::kReduce, 0, 0);
+    prof_->window(windows_, nextScratch_.data(), s, minNext,
+                  finished ? minNext : horizon_, finished);
+  }
+  if (finished) {
     done_ = true;
     return false;
   }
-  horizon_ = minNext + lookahead_;
-  ++windows_;
   return true;
 }
 
@@ -142,11 +179,15 @@ void ShardGroup::runThreaded(unsigned threads) {
     for (unsigned i = t; i < s; i += threads) runSetup(i);
     for (;;) {
       for (unsigned i = t; i < s; i += threads) drainPhase(i);
+      if (prof_) prof_->phaseBegin(WindowPhase::kBarrier, t);
       sync.arrive_and_wait();  // completion: computeWindow()
+      if (prof_) prof_->phaseEnd(WindowPhase::kBarrier, t, 0);
       if (done_) break;
       const SimTime horizon = horizon_;
       for (unsigned i = t; i < s; i += threads) execPhase(i, horizon);
+      if (prof_) prof_->phaseBegin(WindowPhase::kBarrier, t);
       sync.arrive_and_wait();
+      if (prof_) prof_->phaseEnd(WindowPhase::kBarrier, t, 0);
     }
   };
   std::vector<std::thread> pool;
@@ -160,6 +201,10 @@ ShardGroup::Stats ShardGroup::run() {
   ran_ = true;
   const unsigned s = shards();
   unsigned t = threads_ == 0 ? s : std::min(threads_, s);
+  if (RuntimeObserver* ro = runtimeObserver()) {
+    prof_ = ro->beginShardRun(ShardRunInfo{s, t <= 1 ? 1u : t, lookahead_});
+    if (prof_) nextScratch_.resize(s);
+  }
   if (t <= 1) {
     runCooperative();
   } else {
@@ -167,14 +212,35 @@ ShardGroup::Stats ShardGroup::run() {
   }
   Stats stats;
   stats.windows = windows_;
+  stats.shardEvents.reserve(s);
+  stats.shardDelivered.reserve(s);
   std::exception_ptr firstError;
   std::size_t blockedRoots = 0;
-  for (ShardState& st : shards_) {
+  for (unsigned dst = 0; dst < s; ++dst) {
+    ShardState& st = shards_[dst];
     stats.events += st.eventsRun;
     stats.messages += st.delivered;
-    for (const auto& box : st.inbox) stats.overflow += box->overflowed();
+    stats.shardEvents.push_back(st.eventsRun);
+    stats.shardDelivered.push_back(st.delivered);
+    for (unsigned src = 0; src < s; ++src) {
+      const Mailbox& box = *st.inbox[src];
+      stats.overflow += box.overflowed();
+      if (box.overflowed() != 0 || box.ringHighWater() != 0)
+        stats.channels.push_back(
+            Stats::Channel{src, dst, box.overflowed(), box.ringHighWater()});
+    }
     if (st.error && !firstError) firstError = st.error;
     blockedRoots += st.sched->liveRoots();
+  }
+  // (src, dst) order for the report; the loop above produced (dst, src).
+  std::sort(stats.channels.begin(), stats.channels.end(),
+            [](const Stats::Channel& a, const Stats::Channel& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  if (prof_) {
+    prof_->finished(stats);
+    prof_ = nullptr;
   }
   if (firstError) std::rethrow_exception(firstError);
   if (blockedRoots > 0)
@@ -190,27 +256,40 @@ void parallelFor(std::size_t n, unsigned threads,
   if (n == 0) return;
   const std::size_t t =
       threads <= 1 ? 1 : std::min<std::size_t>(threads, n);
+  RuntimeObserver* const ro = runtimeObserver();
+  const std::uint64_t id =
+      ro ? gParallelForId.fetch_add(1, std::memory_order_relaxed) : 0;
+  if (ro) ro->parallelForBegin(id, n, static_cast<unsigned>(t));
   if (t == 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ro) ro->jobBegin(id, i, 0);
+      body(i);
+      if (ro) ro->jobEnd(id, i, 0);
+    }
+    if (ro) ro->parallelForEnd(id);
     return;
   }
   std::atomic<std::size_t> cursor{0};
   std::vector<std::exception_ptr> errors(n);
-  auto worker = [&]() {
+  auto worker = [&](unsigned w) {
     for (;;) {
       const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
+      if (ro) ro->jobBegin(id, i, w);
       try {
         body(i);
       } catch (...) {
         errors[i] = std::current_exception();
       }
+      if (ro) ro->jobEnd(id, i, w);
     }
   };
   std::vector<std::thread> pool;
   pool.reserve(t);
-  for (std::size_t w = 0; w < t; ++w) pool.emplace_back(worker);
+  for (std::size_t w = 0; w < t; ++w)
+    pool.emplace_back(worker, static_cast<unsigned>(w));
   for (std::thread& th : pool) th.join();
+  if (ro) ro->parallelForEnd(id);
   for (std::size_t i = 0; i < n; ++i)
     if (errors[i]) std::rethrow_exception(errors[i]);
 }

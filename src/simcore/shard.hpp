@@ -52,6 +52,27 @@
 
 namespace bgckpt::sim {
 
+class ShardRunObserver;
+class RuntimeObserver;
+
+/// Real-time phases of the conservative window protocol, reported to an
+/// installed RuntimeObserver. These are wall-clock concepts — the simulated
+/// model never sees them.
+enum class WindowPhase : std::uint8_t {
+  kSetup = 0,   ///< model setup on the owning worker, before window 0
+  kDrain,       ///< mailbox drain + sorted injection (per shard)
+  kReduce,      ///< minNext reduction (single-threaded, barrier completion)
+  kBarrier,     ///< wait at a window barrier (per worker)
+  kExec,        ///< runBefore(horizon) (per shard)
+};
+
+/// Geometry of one ShardGroup::run, handed to the observer up front.
+struct ShardRunInfo {
+  unsigned shards = 0;
+  unsigned threads = 0;  ///< actual worker count (1 = cooperative driver)
+  Duration lookahead = 0.0;
+};
+
 class ShardGroup {
  public:
   struct Config {
@@ -77,7 +98,22 @@ class ShardGroup {
     std::uint64_t events = 0;    ///< events dispatched, all shards
     std::uint64_t windows = 0;   ///< conservative windows executed
     std::uint64_t messages = 0;  ///< cross-shard events delivered
-    std::uint64_t overflow = 0;  ///< mailbox ring spills (sizing signal)
+    std::uint64_t overflow = 0;  ///< mailbox ring spills, all channels
+
+    /// One (src -> dst) mailbox that actually saw pressure: either it
+    /// spilled, or its ring high-water is nonzero. The per-pair numbers are
+    /// the sizing signal the aggregate `overflow` cannot carry — a single
+    /// hot channel and uniform background pressure sum to the same total.
+    struct Channel {
+      unsigned src = 0;
+      unsigned dst = 0;
+      std::uint64_t overflow = 0;      ///< spills on this channel
+      std::size_t ringHighWater = 0;   ///< peak in-flight occupancy
+    };
+
+    std::vector<std::uint64_t> shardEvents;     ///< events run, per shard
+    std::vector<std::uint64_t> shardDelivered;  ///< arrivals, per shard
+    std::vector<Channel> channels;  ///< channels with traffic, (src,dst) order
   };
 
   explicit ShardGroup(const Config& config);
@@ -146,7 +182,68 @@ class ShardGroup {
   bool done_ = false;
   std::uint64_t windows_ = 0;
   bool ran_ = false;
+  /// Per-run observer handle, resolved from the installed RuntimeObserver
+  /// at run() start. Null (the common case) keeps every phase at one
+  /// predicted branch; the protocol itself never reads a clock — all
+  /// timing lives behind these callbacks, outside simcore.
+  ShardRunObserver* prof_ = nullptr;
+  /// nextTime snapshot scratch for the window() callback (sized once at
+  /// run() start, only when an observer is installed).
+  std::vector<SimTime> nextScratch_;
 };
+
+/// Per-run callback surface for real-time instrumentation of the window
+/// protocol. Implementations (obs/runtimeprof.hpp) read the wall clock on
+/// their side of these calls; simcore stays clock-free and deterministic.
+/// All methods are invoked from worker threads concurrently — except
+/// window(), which runs single-threaded inside the barrier completion —
+/// and must be noexcept (the completion is a noexcept context).
+class ShardRunObserver {
+ public:
+  virtual ~ShardRunObserver() = default;
+  /// `idx` is the shard index for kSetup/kDrain/kExec, the worker index
+  /// for kBarrier, and 0 for kReduce (single-threaded).
+  virtual void phaseBegin(WindowPhase phase, unsigned idx) noexcept = 0;
+  /// `items`: arrivals injected for kDrain, events run for kExec, else 0.
+  virtual void phaseEnd(WindowPhase phase, unsigned idx,
+                        std::uint64_t items) noexcept = 0;
+  /// After every reduce, from one thread: the per-shard nextTime snapshot
+  /// (infinity = shard idle) and the reduction result. `done` marks the
+  /// final reduce, whose window never executes.
+  virtual void window(std::uint64_t index, const SimTime* nextTimes,
+                      unsigned shards, SimTime minNext, SimTime horizon,
+                      bool done) noexcept = 0;
+  /// End of run(), with the aggregate statistics (called before any error
+  /// from the run is rethrown).
+  virtual void finished(const ShardGroup::Stats& stats) noexcept = 0;
+};
+
+/// Process-wide hook for real-time execution profiling. Dormant when
+/// unset: every instrumentation site is a single null check. Installed by
+/// obs::RuntimeProfiler; simcore only defines the seam.
+class RuntimeObserver {
+ public:
+  virtual ~RuntimeObserver() = default;
+  /// A ShardGroup::run is starting; return a per-run observer (owned by
+  /// the RuntimeObserver) or nullptr to skip this run.
+  virtual ShardRunObserver* beginShardRun(const ShardRunInfo& info)
+      noexcept = 0;
+  /// parallelFor region lifecycle. `id` is a process-unique region id;
+  /// jobBegin/jobEnd run on worker threads (worker < threads).
+  virtual void parallelForBegin(std::uint64_t id, std::size_t jobs,
+                                unsigned threads) noexcept = 0;
+  virtual void jobBegin(std::uint64_t id, std::size_t job,
+                        unsigned worker) noexcept = 0;
+  virtual void jobEnd(std::uint64_t id, std::size_t job,
+                      unsigned worker) noexcept = 0;
+  virtual void parallelForEnd(std::uint64_t id) noexcept = 0;
+};
+
+/// Install (or clear, with nullptr) the process-wide runtime observer.
+/// Not synchronized against in-flight runs: install before starting work,
+/// clear after joining it. Returns the previous observer.
+RuntimeObserver* setRuntimeObserver(RuntimeObserver* observer) noexcept;
+RuntimeObserver* runtimeObserver() noexcept;
 
 /// Deterministically-slotted parallel job map: run body(0..n-1) on up to
 /// `threads` workers (dynamic work stealing via an atomic cursor; callers

@@ -83,7 +83,12 @@ class TempDir {
 
 /// Runs `bench` twice (serial, then 8 worker threads) with telemetry and
 /// attribution exports into separate directories, then requires stdout and
-/// every exported artifact to be byte-identical.
+/// every exported artifact to be byte-identical. BOTH runs carry
+/// --runtime-profile: the wall-clock profiler must not perturb stdout or
+/// any simulated-time artifact. Its own JSON is wall-clock by nature, so
+/// it is written OUTSIDE the compared directories (it is documented as
+/// excluded from identity comparisons) — but it must exist and be
+/// non-empty for both runs.
 void expectByteIdentical(const std::string& bench, const std::string& args) {
   const TempDir tmp;
   ASSERT_FALSE(tmp.path().empty());
@@ -96,7 +101,9 @@ void expectByteIdentical(const std::string& bench, const std::string& args) {
   const auto cmd = [&](const fs::path& dir, const char* threads) {
     return bin + " " + args + " --threads=" + threads + " --telemetry " +
            (dir / "telemetry.json").string() + " --attr " +
-           (dir / "attr.json").string();
+           (dir / "attr.json").string() + " --runtime-profile=" +
+           (tmp.path() / (std::string("runtimeprof.") + threads + ".json"))
+               .string();
   };
 
   const RunResult serial = run(cmd(serialDir, "1"));
@@ -115,6 +122,17 @@ void expectByteIdentical(const std::string& bench, const std::string& args) {
   for (const auto& name : serialNames) {
     EXPECT_EQ(readFile(serialDir / name), readFile(threadedDir / name))
         << bench << ": artifact " << name << " differs between thread counts";
+  }
+
+  // The runtime profiles themselves were written (with manifests), just
+  // not compared byte-for-byte: wall times differ run to run by design.
+  for (const char* threads : {"1", "8"}) {
+    const fs::path prof =
+        tmp.path() / (std::string("runtimeprof.") + threads + ".json");
+    EXPECT_FALSE(readFile(prof).empty())
+        << bench << ": missing runtime profile for --threads=" << threads;
+    EXPECT_FALSE(readFile(fs::path(prof.string() + ".manifest.json")).empty())
+        << bench << ": missing runtime profile manifest";
   }
 }
 

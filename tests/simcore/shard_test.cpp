@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -200,6 +201,11 @@ TEST(ShardGroup, SingleShardRunsToCompletion) {
   EXPECT_EQ(run.stats.windows, 8u);        // one time step per window
   EXPECT_EQ(run.stats.overflow, 0u);
   for (const auto& trace : run.byPartition) EXPECT_EQ(trace.size(), 8u);
+  // The per-shard breakdown covers the whole run: one shard holds all of it.
+  ASSERT_EQ(run.stats.shardEvents.size(), 1u);
+  EXPECT_EQ(run.stats.shardEvents[0], run.stats.events);
+  ASSERT_EQ(run.stats.shardDelivered.size(), 1u);
+  EXPECT_EQ(run.stats.shardDelivered[0], run.stats.messages);
 }
 
 TEST(ShardGroup, ObservableTraceInvariantAcrossShardCounts) {
@@ -224,15 +230,79 @@ TEST(ShardGroup, ThreadedExecutionBitIdenticalToCooperative) {
     EXPECT_EQ(run.byShard, ref.byShard) << threads << " threads";
     EXPECT_EQ(run.byPartition, ref.byPartition) << threads << " threads";
     EXPECT_EQ(run.stats.windows, ref.stats.windows) << threads << " threads";
+    // The per-shard breakdown is part of the determinism contract too.
+    EXPECT_EQ(run.stats.shardEvents, ref.stats.shardEvents)
+        << threads << " threads";
+    EXPECT_EQ(run.stats.shardDelivered, ref.stats.shardDelivered)
+        << threads << " threads";
   }
+}
+
+void printShardStats(const char* tag, const ShardGroup::Stats& stats) {
+  std::printf("[%s] per-shard: ", tag);
+  for (std::size_t s = 0; s < stats.shardEvents.size(); ++s)
+    std::printf("s%zu ev=%llu dl=%llu  ", s,
+                static_cast<unsigned long long>(stats.shardEvents[s]),
+                static_cast<unsigned long long>(stats.shardDelivered[s]));
+  std::printf("\n[%s] channels: ", tag);
+  for (const auto& ch : stats.channels)
+    std::printf("%u->%u spill=%llu hw=%zu  ", ch.src, ch.dst,
+                static_cast<unsigned long long>(ch.overflow),
+                ch.ringHighWater);
+  std::printf("\n");
+}
+
+TEST(ShardGroup, StatsBreakDownPerShardAndPerChannel) {
+  const RingRun run = runPartitionRing(4, 1, 8, 16, 0.125);
+  printShardStats("ring 4x1", run.stats);
+  // The breakdowns must re-sum to the aggregates.
+  std::uint64_t events = 0, delivered = 0;
+  ASSERT_EQ(run.stats.shardEvents.size(), 4u);
+  for (std::uint64_t e : run.stats.shardEvents) events += e;
+  for (std::uint64_t d : run.stats.shardDelivered) delivered += d;
+  EXPECT_EQ(events, run.stats.events);
+  EXPECT_EQ(delivered, run.stats.messages);
+  // 8 partitions on 4 shards hop p -> p+1, so every (s, s+1 mod 4) channel
+  // carries traffic; channels are reported in deterministic (src, dst)
+  // order with their ring high-water marks.
+  ASSERT_FALSE(run.stats.channels.empty());
+  unsigned lastSrc = 0, lastDst = 0;
+  bool first = true;
+  std::uint64_t channelSpills = 0;
+  for (const auto& ch : run.stats.channels) {
+    EXPECT_EQ(ch.dst, (ch.src + 1) % 4) << "ring topology";
+    EXPECT_GT(ch.ringHighWater, 0u);
+    if (!first) {
+      EXPECT_TRUE(ch.src > lastSrc || (ch.src == lastSrc && ch.dst > lastDst))
+          << "channels not sorted";
+    }
+    first = false;
+    lastSrc = ch.src;
+    lastDst = ch.dst;
+    channelSpills += ch.overflow;
+  }
+  EXPECT_EQ(channelSpills, run.stats.overflow);
 }
 
 TEST(ShardGroup, TinyMailboxSpillsButStaysCorrect) {
   const RingRun ref = runPartitionRing(2, 0, 8, 10, 0.5);
   const RingRun tiny = runPartitionRing(2, 0, 8, 10, 0.5, /*mailbox=*/1);
+  printShardStats("tiny mailbox", tiny.stats);
   EXPECT_GT(tiny.stats.overflow, 0u);
   EXPECT_EQ(tiny.byShard, ref.byShard);
   EXPECT_EQ(tiny.byPartition, ref.byPartition);
+  // The spills localize to the per-pair channels, and a capacity-1 ring
+  // reports occupancy above its capacity via the overflow queue.
+  std::uint64_t channelSpills = 0;
+  for (const auto& ch : tiny.stats.channels) {
+    channelSpills += ch.overflow;
+    if (ch.overflow > 0) {
+      EXPECT_GT(ch.ringHighWater, 1u);
+    }
+  }
+  EXPECT_EQ(channelSpills, tiny.stats.overflow);
+  // The roomy run carries the same traffic with no spill anywhere.
+  for (const auto& ch : ref.stats.channels) EXPECT_EQ(ch.overflow, 0u);
 }
 
 TEST(ShardGroup, CoroutineRootsRunOnTheirOwningWorker) {

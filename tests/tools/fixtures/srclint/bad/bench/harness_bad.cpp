@@ -1,0 +1,9 @@
+// Fixture: wall-clock now covers bench/ too — harnesses must time through
+// bench::WallTimer (bench/common), not ad-hoc host clocks. This file is in
+// bench/ but not on the allowlist, so the identifier is a finding.
+#include <chrono>
+
+double wallSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // wall-clock
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

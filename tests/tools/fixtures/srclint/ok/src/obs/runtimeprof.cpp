@@ -1,0 +1,17 @@
+// Fixture: the wall-clock rule's scoped carve-out. This path matches the
+// built-in allowlist entry "src/obs/runtimeprof." — the runtime execution
+// profiler measures real worker wall time by definition — so host-clock
+// identifiers here are clean without any srclint:allow marker.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double spanSeconds(std::uint64_t beginNs, std::uint64_t endNs) {
+  return static_cast<double>(endNs - beginNs) * 1e-9;
+}

@@ -95,6 +95,35 @@ TEST(SrclintRules, SinkAndClockNegatives) {
   EXPECT_EQ(r.exitCode, 0) << r.output;
 }
 
+// The wall-clock rule's scoped allowlist (src/obs/runtimeprof.*,
+// bench/common.*): sanctioned paths are clean with host clocks and no
+// srclint:allow markers, and the carve-out does not leak to sibling files
+// in the same directories or the rest of bench/.
+TEST(SrclintRules, WallClockAllowlistedPathsAreClean) {
+  const auto r = run(srclint() + " " + fx("ok/src/obs/runtimeprof.cpp") +
+                     " " + fx("ok/bench/common.cpp"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_EQ(countOf(r.output, "[wall-clock]"), 0) << r.output;
+}
+
+TEST(SrclintRules, WallClockCarveOutDoesNotLeak) {
+  // A src/obs neighbor of runtimeprof.cpp: both clock identifiers flagged.
+  const auto obs = run(srclint() + " " + fx("bad/src/obs/timing_bad.cpp"));
+  EXPECT_EQ(obs.exitCode, 1) << obs.output;
+  EXPECT_EQ(countOf(obs.output, "[wall-clock]"), 2) << obs.output;
+  // bench/ outside bench/common.*: flagged too (the rule now covers bench).
+  const auto bench = run(srclint() + " " + fx("bad/bench/harness_bad.cpp"));
+  EXPECT_EQ(bench.exitCode, 1) << bench.output;
+  EXPECT_EQ(countOf(bench.output, "[wall-clock]"), 1) << bench.output;
+  // Running the allowlisted and non-allowlisted files together changes
+  // nothing: the carve-out is per-path, not per-invocation.
+  const auto both = run(srclint() + " " + fx("ok/src/obs/runtimeprof.cpp") +
+                        " " + fx("bad/src/obs/timing_bad.cpp"));
+  EXPECT_EQ(both.exitCode, 1) << both.output;
+  EXPECT_EQ(countOf(both.output, "[wall-clock]"), 2) << both.output;
+  EXPECT_FALSE(has(both.output, "runtimeprof.cpp")) << both.output;
+}
+
 TEST(SrclintRules, Pr3TernaryCoAwaitReproIsFlagged) {
   const auto r =
       run(srclint() + " " + fx("bad/src/fssim/pr3_ternary_bad.cpp"));

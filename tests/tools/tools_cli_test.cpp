@@ -249,6 +249,69 @@ TEST(TraceReportCli, WaterfallReqUsageErrors) {
             2);
 }
 
+TEST(TraceReportCli, RuntimeModeRendersPhaseTableAndCriticalShard) {
+  const auto r =
+      run(traceReport() + " --runtime " + fixture("runtimeprof_ring.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("shard group [shards=4 threads=4]"),
+            std::string::npos)
+      << r.output;
+  // The four phase shares must sum to 100% (barrier' = barrier - reduce).
+  EXPECT_NE(r.output.find("drain 10.0% + reduce 10.0% + barrier-wait 40.0% "
+                          "+ execute 40.0% = 100%"),
+            std::string::npos)
+      << r.output;
+  // The acceptance-shaped summary line: who sets the horizon, at what cost.
+  EXPECT_NE(r.output.find("critical shard: shard 3 critical in 72% of "
+                          "windows; barrier wait = 40% of worker wall"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TraceReportCli, RuntimeModeDecomposesParallelRegion) {
+  const auto r =
+      run(traceReport() + " --runtime " + fixture("runtimeprof_ring.json"));
+  ASSERT_EQ(r.exitCode, 0) << r.output;
+  // The slowest point is named as the cap on the region.
+  EXPECT_NE(r.output.find("critical point: np=65536 coIO nf=1 (3.500 s"),
+            std::string::npos)
+      << r.output;
+  // speedup = 10s of work / 4s wall; ceiling = 10 / max(3.5, 10/8).
+  EXPECT_NE(r.output.find("parallel efficiency: speedup 2.50x of 8 threads "
+                          "(31.2%); serial fraction 0.35 -> Amdahl ceiling "
+                          "2.86x"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TraceReportCli, RuntimeDiffComparesPointsAndPhaseShares) {
+  const auto r =
+      run(traceReport() + " --runtime " + fixture("runtimeprof_ring.json") +
+          " --diff " + fixture("runtimeprof_ring.json"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("diff against"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("np=65536 coIO nf=1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1.00x"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("barrier-wait   40.0% ->   40.0%"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(TraceReportCli, RuntimeRejectsWrongSchemaVersion) {
+  const auto r = run(traceReport() + " --runtime " +
+                     fixture("runtimeprof_badschema.json"));
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("not supported"), std::string::npos) << r.output;
+}
+
+TEST(TraceReportCli, RuntimeRejectsWrongManifestVersion) {
+  const auto r = run(traceReport() + " --runtime " +
+                     fixture("runtimeprof_badmanifest.json"));
+  EXPECT_EQ(r.exitCode, 2) << r.output;
+  EXPECT_NE(r.output.find("manifest schema"), std::string::npos) << r.output;
+}
+
 TEST(PerfCompareCli, PassesWhenEventsMatch) {
   const auto r = run(perfCompare() + " " + fixture("perf_base.json") + " " +
                      fixture("perf_same.json") + " --no-wall");

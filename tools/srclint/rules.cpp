@@ -36,11 +36,17 @@ const std::vector<RuleInfo> kRules = {
      "must use SIM_CHECK/SIM_DCHECK (simcore/simcheck.hpp), which stay\n"
      "armed in Release and dump the flight recorder on failure."},
     {"wall-clock", "determinism",
-     "host clocks / libc randomness in src/",
+     "host clocks / libc randomness in src/ or bench/ (allowlist: "
+     "src/obs/runtimeprof.*, bench/common.*)",
      "Simulated time comes from the Scheduler and randomness from the\n"
      "seeded SplitMix/xoshiro RNG streams; rand(), random_device, or any\n"
      "host clock makes runs irreproducible and breaks the byte-identity\n"
-     "gates every figure bench is held to."},
+     "gates every figure bench is held to. Two files are allowlisted by\n"
+     "path (a scoped rule option, not srclint:allow markers): the runtime\n"
+     "execution profiler (src/obs/runtimeprof.*), which measures real\n"
+     "worker wall time by definition and never feeds it back into\n"
+     "simulated time, and bench/common.*, which owns the one sanctioned\n"
+     "harness stopwatch (bench::WallTimer) that every harness times with."},
     {"ternary-co-await", "coroutine-lifetime",
      "co_await in a temporary-lifetime operand position (?: branch, "
      "range-for range)",
@@ -188,6 +194,16 @@ const std::set<std::string> kWallClockIdents = {
     "timespec_get",
 };
 
+/// The wall-clock rule's scoped carve-out: paths whose *purpose* is
+/// real-time measurement. The runtime profiler times worker threads with
+/// the host clock by definition, and bench/common owns the one sanctioned
+/// harness stopwatch (WallTimer). Matched as path substrings so the
+/// fixture trees under tests/tools/fixtures exercise the same logic.
+constexpr const char* kWallClockAllowedPaths[] = {
+    "src/obs/runtimeprof.",
+    "bench/common.",
+};
+
 /// Per-file rule context: effective allow map and a findings sink that
 /// consults it.
 struct FileCtx {
@@ -312,11 +328,13 @@ void tokenRules(FileCtx& ctx) {
       ctx.report(t.line, "assert",
                  "assert() vanishes under NDEBUG; simulation-state "
                  "invariants must use SIM_CHECK (simcore/simcheck.hpp)");
-    if (f.inSrc && kWallClockIdents.count(t.text) != 0)
+    if ((f.inSrc || f.inBench) && !f.wallClockAllowed &&
+        kWallClockIdents.count(t.text) != 0)
       ctx.report(t.line, "wall-clock",
                  "`" + t.text +
                      "` breaks reproducibility; use Scheduler time and the "
-                     "seeded sim::Rng");
+                     "seeded sim::Rng (harness timing goes through "
+                     "bench::WallTimer)");
     if (t.text == "emit" && !f.inObs && memberCall)
       ctx.report(t.line, "obs-emit",
                  "direct emit() bypasses the Observability hub; use "
@@ -953,6 +971,9 @@ AnalyzedFile analyze(LexedFile lexed) {
   f.lex = std::move(lexed);
   const std::string& name = f.lex.path;
   f.inSrc = name.find("src/") != std::string::npos;
+  f.inBench = name.find("bench/") != std::string::npos;
+  for (const char* allowed : kWallClockAllowedPaths)
+    if (name.find(allowed) != std::string::npos) f.wallClockAllowed = true;
   f.inSimcore = name.find("src/simcore/") != std::string::npos;
   f.inNetsim = name.find("src/netsim/") != std::string::npos;
   f.inObs = name.find("src/obs/") != std::string::npos;

@@ -42,6 +42,12 @@ struct AnalyzedFile {
   LexedFile lex;
   ScopeModel scopes;
   bool inSrc = false;
+  bool inBench = false;
+  /// Path is on the wall-clock rule's built-in allowlist (the two sanctioned
+  /// real-time sites: src/obs/runtimeprof.* and bench/common.*). A scoped
+  /// rule option instead of scattering srclint:allow markers through files
+  /// whose whole purpose is wall-clock measurement.
+  bool wallClockAllowed = false;
   bool inSimcore = false;
   bool inNetsim = false;
   bool inObs = false;

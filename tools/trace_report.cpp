@@ -5,6 +5,7 @@
 //         trace_report --critpath <run.json> [--diff <other.json>]
 //         trace_report --timeline <telemetry.json> [--diff <other.json>]
 //         trace_report --waterfall <optrace.json> [--req ID | --diff <other>]
+//         trace_report --runtime <runtimeprof.json> [--diff <other.json>]
 //
 // Default mode reads the event log written alongside a Chrome trace by
 // `<bench> --trace <file>` (the `<file>.jsonl` twin), rebuilds the I/O
@@ -28,7 +29,13 @@
 // the fan-in lineage summary, a p99-localization line, and ASCII hop
 // waterfalls for the retained tail (the N slowest requests) or, with
 // --req ID, for one chosen request; --diff compares the hop-percentile
-// tables of two runs (e.g. rbIO vs coIO).
+// tables of two runs (e.g. rbIO vs coIO). --runtime renders the real-time
+// execution profile written by `<bench> --runtime-profile`: per-shard
+// window-phase tables with a worker-wall decomposition summing to 100%, a
+// critical-shard summary line, and per-parallelFor-point wall times with
+// the serial-fraction / Amdahl-ceiling analysis; --diff compares two
+// profiles point by point and phase by phase (before/after a sharding
+// change).
 // Both the artifact's "schema" field and its "<file>.manifest.json"
 // sidecar (when present) must match this build's schema versions, else
 // exit 2.
@@ -49,6 +56,7 @@
 #include "obs/attr.hpp"
 #include "obs/json.hpp"
 #include "obs/optrace.hpp"
+#include "obs/runtimeprof.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "profiling/profile.hpp"
@@ -72,8 +80,9 @@ int usage(const char* argv0) {
                "       %s --timeline <telemetry.json> [--diff <other.json>]"
                " [--width N]\n"
                "       %s --waterfall <optrace.json> [--req ID |"
-               " --diff <other.json>]\n",
-               argv0, argv0, argv0, argv0, argv0);
+               " --diff <other.json>]\n"
+               "       %s --runtime <runtimeprof.json> [--diff <other.json>]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -716,6 +725,329 @@ int runWaterfallMode(const char* pathA, const char* pathB, long long reqId,
   return 0;
 }
 
+// ------------------------------------------------------- --runtime mode --
+
+/// One shard-group configuration's accumulated totals. Benchmark loops run
+/// the same (shards, threads) topology many times; the report merges them
+/// so the phase shares describe the topology, not one 10ms iteration.
+struct ShardGroupAgg {
+  unsigned shards = 0;
+  unsigned threads = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t overflow = 0;
+  double wallNs = 0;
+  double setupNs = 0, drainNs = 0, reduceNs = 0, barrierNs = 0, execNs = 0;
+  struct Shard {
+    double drainNs = 0, execNs = 0;
+    std::uint64_t events = 0, delivered = 0, criticalWindows = 0;
+  };
+  std::vector<Shard> perShard;
+  std::vector<double> workerBarrierNs;
+
+  /// Worker wall = drain + reduce + barrier-wait + exec. The reduce runs
+  /// *inside* one worker's barrier wait each window, so it is carved out
+  /// of the barrier total — the four shares then sum to 100% exactly.
+  double barrierWaitNs() const {
+    return barrierNs > reduceNs ? barrierNs - reduceNs : 0.0;
+  }
+  double workerWallNs() const {
+    return drainNs + reduceNs + barrierWaitNs() + execNs;
+  }
+};
+
+struct RuntimeProfDoc {
+  Value doc;
+  std::vector<ShardGroupAgg> groups;  // keyed by (shards, threads)
+};
+
+/// Load and validate one `--runtime-profile` export, with the same schema
+/// + manifest-sidecar rules as loadTimeline.
+bool loadRuntimeProf(const char* path, RuntimeProfDoc* out) {
+  if (!loadJsonFile(path, &out->doc)) return false;
+  const std::string schema = out->doc.stringOr("schema", "(none)");
+  if (schema != bgckpt::obs::kRuntimeProfSchemaVersion) {
+    std::fprintf(stderr,
+                 "trace_report: %s: runtimeprof schema \"%s\" not supported "
+                 "(this build reads \"%s\")\n",
+                 path, schema.c_str(),
+                 bgckpt::obs::kRuntimeProfSchemaVersion);
+    return false;
+  }
+  const std::string manifestPath = std::string(path) + ".manifest.json";
+  if (std::ifstream probe(manifestPath); probe) {
+    Value manifest;
+    if (!loadJsonFile(manifestPath.c_str(), &manifest)) return false;
+    const std::string mv = manifest.stringOr("schema_version", "(none)");
+    if (mv != bgckpt::obs::kManifestSchemaVersion) {
+      std::fprintf(stderr,
+                   "trace_report: %s: manifest schema \"%s\" not supported "
+                   "(this build reads \"%s\")\n",
+                   manifestPath.c_str(), mv.c_str(),
+                   bgckpt::obs::kManifestSchemaVersion);
+      return false;
+    }
+  }
+  const Value* runs = out->doc.find("shard_runs");
+  if (runs == nullptr || !runs->isArray()) return true;
+  for (const Value& rv : *runs->array) {
+    if (!rv.isObject()) continue;
+    const auto shards = static_cast<unsigned>(rv.numberOr("shards", 0));
+    const auto threads = static_cast<unsigned>(rv.numberOr("threads", 0));
+    ShardGroupAgg* g = nullptr;
+    for (ShardGroupAgg& cand : out->groups)
+      if (cand.shards == shards && cand.threads == threads) g = &cand;
+    if (g == nullptr) {
+      out->groups.emplace_back();
+      g = &out->groups.back();
+      g->shards = shards;
+      g->threads = threads;
+      g->perShard.resize(shards);
+      g->workerBarrierNs.assign(threads, 0.0);
+    }
+    ++g->runs;
+    g->windows += static_cast<std::uint64_t>(rv.numberOr("windows", 0));
+    g->events += static_cast<std::uint64_t>(rv.numberOr("events", 0));
+    g->messages += static_cast<std::uint64_t>(rv.numberOr("messages", 0));
+    g->overflow += static_cast<std::uint64_t>(rv.numberOr("overflow", 0));
+    g->wallNs += rv.numberOr("wall_ns", 0);
+    if (const Value* ph = rv.find("phase_ns"); ph && ph->isObject()) {
+      g->setupNs += ph->numberOr("setup", 0);
+      g->drainNs += ph->numberOr("drain", 0);
+      g->reduceNs += ph->numberOr("reduce", 0);
+      g->barrierNs += ph->numberOr("barrier", 0);
+      g->execNs += ph->numberOr("exec", 0);
+    }
+    if (const Value* ps = rv.find("per_shard"); ps && ps->isArray()) {
+      for (const Value& sv : *ps->array) {
+        if (!sv.isObject()) continue;
+        const auto i = static_cast<std::size_t>(sv.numberOr("shard", 0));
+        if (i >= g->perShard.size()) continue;
+        auto& slot = g->perShard[i];
+        slot.drainNs += sv.numberOr("drain_ns", 0);
+        slot.execNs += sv.numberOr("exec_ns", 0);
+        slot.events += static_cast<std::uint64_t>(sv.numberOr("events", 0));
+        slot.delivered +=
+            static_cast<std::uint64_t>(sv.numberOr("delivered", 0));
+        slot.criticalWindows +=
+            static_cast<std::uint64_t>(sv.numberOr("critical_windows", 0));
+      }
+    }
+    if (const Value* pw = rv.find("per_worker"); pw && pw->isArray()) {
+      for (const Value& wv : *pw->array) {
+        if (!wv.isObject()) continue;
+        const auto i = static_cast<std::size_t>(wv.numberOr("worker", 0));
+        if (i < g->workerBarrierNs.size())
+          g->workerBarrierNs[i] += wv.numberOr("barrier_ns", 0);
+      }
+    }
+  }
+  return true;
+}
+
+void renderShardGroup(const ShardGroupAgg& g) {
+  std::printf("\nshard group [shards=%u threads=%u]: %" PRIu64
+              " run(s), %" PRIu64 " windows, %" PRIu64 " events, %" PRIu64
+              " messages, %" PRIu64 " spills, wall %.3f ms\n",
+              g.shards, g.threads, g.runs, g.windows, g.events, g.messages,
+              g.overflow, g.wallNs / 1e6);
+  const double ww = g.workerWallNs();
+  if (ww > 0) {
+    const auto share = [ww](double ns) { return ns / ww * 100.0; };
+    std::printf("worker wall decomposition: drain %.1f%% + reduce %.1f%% + "
+                "barrier-wait %.1f%% + execute %.1f%% = 100%%\n",
+                share(g.drainNs), share(g.reduceNs), share(g.barrierWaitNs()),
+                share(g.execNs));
+    std::printf("parallel efficiency: %.1f%% of worker wall is useful "
+                "execute (setup excluded: %.3f ms)\n",
+                share(g.execNs), g.setupNs / 1e6);
+  }
+  std::printf("\n%7s %12s %12s %12s %12s %10s %7s\n", "shard", "drain-ms",
+              "exec-ms", "events", "delivered", "critical", "crit%");
+  for (std::size_t i = 0; i < g.perShard.size(); ++i) {
+    const auto& s = g.perShard[i];
+    std::printf("%7zu %12.3f %12.3f %12" PRIu64 " %12" PRIu64 " %10" PRIu64
+                " %6.1f%%\n",
+                i, s.drainNs / 1e6, s.execNs / 1e6, s.events, s.delivered,
+                s.criticalWindows,
+                g.windows > 0 ? static_cast<double>(s.criticalWindows) /
+                                    static_cast<double>(g.windows) * 100.0
+                              : 0.0);
+  }
+  std::printf("%7s", "barrier");
+  for (std::size_t w = 0; w < g.workerBarrierNs.size() && w < 8; ++w)
+    std::printf(" w%zu=%.2fms", w, g.workerBarrierNs[w] / 1e6);
+  std::printf("\n");
+  // The one-line summary: who sets the horizon, and what that costs.
+  std::size_t critShard = 0;
+  for (std::size_t i = 1; i < g.perShard.size(); ++i)
+    if (g.perShard[i].criticalWindows >
+        g.perShard[critShard].criticalWindows)
+      critShard = i;
+  if (g.windows > 0 && !g.perShard.empty() && ww > 0)
+    std::printf("critical shard: shard %zu critical in %.0f%% of windows; "
+                "barrier wait = %.0f%% of worker wall\n",
+                critShard,
+                static_cast<double>(g.perShard[critShard].criticalWindows) /
+                    static_cast<double>(g.windows) * 100.0,
+                g.barrierWaitNs() / ww * 100.0);
+}
+
+/// A region's Amdahl decomposition: the serial fraction is the share of
+/// total job work pinned in the single longest job. Independent jobs can
+/// never finish before max(longest job, total work / T), so the speedup
+/// ceiling is sum / max(maxJob, sum/T) — which tends to 1/s as T grows.
+/// Printing the measured speedup next to the ceiling says whether the cap
+/// is the workload (one dominant job) or the scheduler.
+void renderRegion(const Value& rv) {
+  const auto jobs = static_cast<std::size_t>(rv.numberOr("jobs", 0));
+  const auto threads = static_cast<unsigned>(rv.numberOr("threads", 1));
+  const double wall = rv.numberOr("wall_ns", 0);
+  const double sum = rv.numberOr("sum_job_ns", 0);
+  const double maxJob = rv.numberOr("max_job_ns", 0);
+  std::printf("\nparallel region %lld: %zu jobs on %u threads, wall %.3f s\n",
+              static_cast<long long>(rv.numberOr("id", 0)), jobs, threads,
+              wall / 1e9);
+  struct JobRow {
+    std::size_t job = 0;
+    unsigned worker = 0;
+    double ns = 0;
+    std::string label;
+  };
+  std::vector<JobRow> rows;
+  if (const Value* jd = rv.find("jobs_detail"); jd && jd->isArray()) {
+    for (const Value& jv : *jd->array) {
+      if (!jv.isObject()) continue;
+      JobRow r;
+      r.job = static_cast<std::size_t>(jv.numberOr("job", 0));
+      r.worker = static_cast<unsigned>(jv.numberOr("worker", 0));
+      r.ns = jv.numberOr("ns", 0);
+      r.label = jv.stringOr("label", "");
+      rows.push_back(std::move(r));
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const JobRow& a, const JobRow& b) { return a.ns > b.ns; });
+  std::printf("%6s %7s %12s %8s  %s\n", "job", "worker", "wall-s", "share",
+              "label");
+  constexpr std::size_t kMaxJobRows = 20;
+  for (std::size_t i = 0; i < rows.size() && i < kMaxJobRows; ++i) {
+    const JobRow& r = rows[i];
+    std::printf("%6zu %7u %12.3f %7.1f%%  %s\n", r.job, r.worker, r.ns / 1e9,
+                sum > 0 ? r.ns / sum * 100.0 : 0.0,
+                r.label.empty() ? "(unlabelled)" : r.label.c_str());
+  }
+  if (rows.size() > kMaxJobRows)
+    std::printf("  ... %zu more job(s)\n", rows.size() - kMaxJobRows);
+  if (sum > 0 && wall > 0 && threads > 0) {
+    const double s = maxJob / sum;
+    const double floorNs =
+        std::max(maxJob, sum / static_cast<double>(threads));
+    const double ceiling = floorNs > 0 ? sum / floorNs : 0.0;
+    const double speedup = sum / wall;
+    const char* critLabel = rows.empty() || rows.front().label.empty()
+                                ? "(unlabelled)"
+                                : rows.front().label.c_str();
+    std::printf("critical point: %s (%.3f s, %.0f%% of region wall)\n",
+                critLabel, maxJob / 1e9, wall > 0 ? maxJob / wall * 100.0 : 0.0);
+    std::printf("parallel efficiency: speedup %.2fx of %u threads (%.1f%%); "
+                "serial fraction %.2f -> Amdahl ceiling %.2fx\n",
+                speedup, threads,
+                speedup / static_cast<double>(threads) * 100.0, s, ceiling);
+  }
+}
+
+int runRuntimeMode(const char* pathA, const char* pathB) {
+  RuntimeProfDoc a;
+  if (!loadRuntimeProf(pathA, &a)) return 2;
+  std::printf("runtime profile: %s\n", pathA);
+  const Value* regionsA = a.doc.find("parallel_regions");
+  const Value* pointsA = a.doc.find("points");
+  const std::size_t nRegions =
+      regionsA != nullptr && regionsA->isArray() ? regionsA->array->size() : 0;
+  const std::size_t nPoints =
+      pointsA != nullptr && pointsA->isArray() ? pointsA->array->size() : 0;
+  std::printf("%zu shard-group config(s), %zu parallel region(s), %zu "
+              "point record(s)\n",
+              a.groups.size(), nRegions, nPoints);
+  if (a.doc.numberOr("dropped_shard_runs", 0) > 0)
+    std::printf("WARNING: %.0f shard run(s) beyond the retention cap were "
+                "not recorded\n",
+                a.doc.numberOr("dropped_shard_runs", 0));
+
+  if (pathB != nullptr) {
+    RuntimeProfDoc b;
+    if (!loadRuntimeProf(pathB, &b)) return 2;
+    std::printf("diff against: %s\n", pathB);
+    // Point-by-point wall comparison (labels are deterministic, so they
+    // line up across runs whatever the thread counts were).
+    std::map<std::string, std::pair<double, double>> points;
+    const auto collect = [](const Value& doc, bool first,
+                            std::map<std::string, std::pair<double, double>>&
+                                out) {
+      const Value* arr = doc.find("points");
+      if (arr == nullptr || !arr->isArray()) return;
+      for (const Value& pv : *arr->array) {
+        if (!pv.isObject()) continue;
+        auto& slot = out[pv.stringOr("label", "?")];
+        (first ? slot.first : slot.second) += pv.numberOr("wall_s", 0);
+      }
+    };
+    collect(a.doc, true, points);
+    collect(b.doc, false, points);
+    if (!points.empty()) {
+      std::printf("\n%-40s %12s %12s %8s\n", "point", "A wall-s", "B wall-s",
+                  "B/A");
+      for (const auto& [label, ab] : points)
+        std::printf("%-40s %12.3f %12.3f %7.2fx\n", label.c_str(), ab.first,
+                    ab.second,
+                    ab.first > 0 ? ab.second / ab.first : 0.0);
+    }
+    // Phase-share comparison per matching shard-group topology.
+    for (const ShardGroupAgg& ga : a.groups) {
+      for (const ShardGroupAgg& gb : b.groups) {
+        if (ga.shards != gb.shards || ga.threads != gb.threads) continue;
+        const double wa = ga.workerWallNs();
+        const double wb = gb.workerWallNs();
+        if (wa <= 0 || wb <= 0) continue;
+        std::printf("\nshard group [shards=%u threads=%u] phase shares "
+                    "(A -> B):\n",
+                    ga.shards, ga.threads);
+        const auto row = [&](const char* name, double na, double nb) {
+          std::printf("  %-12s %6.1f%% -> %6.1f%%  (%+.1f)\n", name,
+                      na / wa * 100.0, nb / wb * 100.0,
+                      nb / wb * 100.0 - na / wa * 100.0);
+        };
+        row("drain", ga.drainNs, gb.drainNs);
+        row("reduce", ga.reduceNs, gb.reduceNs);
+        row("barrier-wait", ga.barrierWaitNs(), gb.barrierWaitNs());
+        row("execute", ga.execNs, gb.execNs);
+      }
+    }
+    return 0;
+  }
+
+  for (const ShardGroupAgg& g : a.groups) renderShardGroup(g);
+  if (nRegions > 0)
+    for (const Value& rv : *regionsA->array)
+      if (rv.isObject()) renderRegion(rv);
+  if (nPoints > 0) {
+    std::printf("\n%-40s %12s %14s %10s\n", "point", "wall-s", "events",
+                "Mev/s");
+    for (const Value& pv : *pointsA->array) {
+      if (!pv.isObject()) continue;
+      const double wall = pv.numberOr("wall_s", 0);
+      const double events = pv.numberOr("events", 0);
+      std::printf("%-40s %12.3f %14.0f %10.2f\n",
+                  pv.stringOr("label", "?").c_str(), wall, events,
+                  wall > 0 ? events / wall / 1e6 : 0.0);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -724,8 +1056,14 @@ int main(int argc, char** argv) {
   int bins = 60;
   int width = 72;
   long long reqId = -1;
-  enum class Mode { kSummary, kAttr, kCritPath, kTimeline, kWaterfall } mode =
-      Mode::kSummary;
+  enum class Mode {
+    kSummary,
+    kAttr,
+    kCritPath,
+    kTimeline,
+    kWaterfall,
+    kRuntime
+  } mode = Mode::kSummary;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bins") == 0 && i + 1 < argc) {
       bins = std::atoi(argv[++i]);
@@ -744,6 +1082,8 @@ int main(int argc, char** argv) {
       mode = Mode::kTimeline;
     } else if (std::strcmp(argv[i], "--waterfall") == 0) {
       mode = Mode::kWaterfall;
+    } else if (std::strcmp(argv[i], "--runtime") == 0) {
+      mode = Mode::kRuntime;
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
       diffPath = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -761,6 +1101,7 @@ int main(int argc, char** argv) {
   if (mode == Mode::kTimeline) return runTimelineMode(path, diffPath, width);
   if (mode == Mode::kWaterfall)
     return runWaterfallMode(path, diffPath, reqId, width);
+  if (mode == Mode::kRuntime) return runRuntimeMode(path, diffPath);
 
   std::ifstream in(path);
   if (!in) {
