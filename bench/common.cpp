@@ -21,6 +21,7 @@
 #include "obs/critpath.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/optrace.hpp"
+#include "obs/runstore.hpp"
 #include "obs/runtimeprof.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -52,6 +53,12 @@ bool gRuntimeProfFlushed = false;
 // Captured by obsInit for the run manifests written next to each artifact.
 std::string gBenchName;
 std::vector<std::string> gCmdArgs;
+// Manifest-v2 provenance: the sweep driver exports the revision and the
+// ledger config hash it derived for this child (BGCKPT_GIT_REV /
+// BGCKPT_CONFIG_HASH); standalone runs self-derive a config hash over
+// (bench, args) and stamp the rev as "unknown".
+std::string gGitRev;
+std::string gConfigHash;
 sim::SimCheckMode gSimCheckMode = sim::SimCheckMode::kAuto;
 unsigned gThreads = 1;
 int gStacksAttached = 0;
@@ -62,11 +69,27 @@ int gStacksAttached = 0;
 std::mutex gFlightRecMu;
 std::vector<std::shared_ptr<obs::FlightRecorder>> gFlightRecorders;
 
+/// Strategy/result metadata attached to runSim perf records. The campaign
+/// roll-up (trace_report --campaign) re-derives figure tables from these
+/// fields; measuredGbs stores the exact string the bench printed, so the
+/// ledger view is byte-identical to the individually-run bench's stdout by
+/// construction, not by re-formatting.
+struct SimMeta {
+  bool present = false;
+  int np = 0;
+  int nf = 0;
+  std::string strategy;     // strategyName(cfg.kind)
+  std::string config;       // cfg.describe()
+  std::string measuredGbs;  // gbs(result.bandwidth)
+  double simSeconds = 0.0;  // result.makespan, simulated seconds
+};
+
 struct PerfEntry {
   std::string label;
   double wallSeconds = 0.0;
   std::uint64_t events = 0;
   unsigned threads = 1;
+  SimMeta sim;
 };
 std::vector<PerfEntry> gPerfEntries;
 
@@ -144,32 +167,24 @@ std::string jsonlTwin(const std::string& path) {
   return path + ".jsonl";
 }
 
-/// Write the run manifest next to an obs artifact ("<path>.manifest.json"):
-/// which harness produced it, on what partition, with which flags. The
-/// artifact path itself was already probed writable, so a failure here is
+/// Write the run manifest next to an obs artifact: which harness produced
+/// it, on what partition, with which flags, at which revision. Serialized
+/// by the shared stamping helper (obs::writeArtifactManifest) so every
+/// sidecar in the repo carries the same v2 provenance fields. The artifact
+/// path itself was already probed writable, so a failure here is
 /// unexpected enough to warrant the same exit-2 contract.
 void writeManifest(const std::string& artifactPath, const char* artifact,
                    int np, int stackN) {
-  const std::string path = artifactPath + ".manifest.json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "error: cannot write manifest %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::fprintf(f, "{\n  \"schema_version\": \"%s\",\n",
-               obs::kManifestSchemaVersion);
-  std::fprintf(f, "  \"artifact\": \"%s\",\n", artifact);
-  std::fprintf(f, "  \"bench\": \"%s\",\n", jsonEscape(gBenchName).c_str());
-  std::fprintf(f, "  \"np\": %d,\n", np);
-  std::fprintf(f, "  \"stack\": %d,\n", stackN);
-  std::fprintf(f, "  \"bucket_dt\": %.6g,\n",
-               gTelemetryDt > 0 ? gTelemetryDt : obs::Telemetry::kDefaultDt);
-  std::fprintf(f, "  \"flags\": [");
-  bool firstFlag = true;
+  obs::ManifestInfo info;
+  info.artifact = artifact;
+  info.bench = gBenchName;
+  info.np = np;
+  info.stack = stackN;
+  info.bucketDt = gTelemetryDt > 0 ? gTelemetryDt : obs::Telemetry::kDefaultDt;
+  info.gitRev = gGitRev;
+  info.configHash = gConfigHash;
   const auto flag = [&](const char* name, bool active) {
-    if (!active) return;
-    std::fprintf(f, "%s\"%s\"", firstFlag ? "" : ", ", name);
-    firstFlag = false;
+    if (active) info.flags.emplace_back(name);
   };
   flag("--trace", !gTracePath.empty());
   flag("--metrics", !gMetricsPath.empty());
@@ -180,12 +195,12 @@ void writeManifest(const std::string& artifactPath, const char* artifact,
   flag("--obs-dir", !gObsDir.empty());
   flag("--flightrec", gFlightRecEvents > 0);
   flag("--runtime-profile", !gRuntimeProfPath.empty());
-  std::fprintf(f, "],\n  \"args\": [");
-  for (std::size_t i = 0; i < gCmdArgs.size(); ++i)
-    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
-                 jsonEscape(gCmdArgs[i]).c_str());
-  std::fprintf(f, "]\n}\n");
-  std::fclose(f);
+  info.args = gCmdArgs;
+  if (!obs::writeArtifactManifest(artifactPath, info)) {
+    std::fprintf(stderr, "error: cannot write manifest for %s\n",
+                 artifactPath.c_str());
+    std::exit(2);
+  }
 }
 
 }  // namespace
@@ -197,6 +212,21 @@ void obsInit(int argc, char** argv) {
     if (slash != std::string::npos) gBenchName = gBenchName.substr(slash + 1);
   }
   gCmdArgs.assign(argv + (argc > 0 ? 1 : 0), argv + argc);
+  const char* rev = std::getenv("BGCKPT_GIT_REV");
+  gGitRev = rev != nullptr && *rev != '\0' ? rev : "unknown";
+  if (const char* hash = std::getenv("BGCKPT_CONFIG_HASH");
+      hash != nullptr && *hash != '\0') {
+    gConfigHash = hash;
+  } else {
+    // Standalone run: hash (bench, args) so two invocations of the same
+    // command line still share a config identity.
+    std::string material = gBenchName;
+    for (const std::string& a : gCmdArgs) {
+      material += '\n';
+      material += a;
+    }
+    gConfigHash = obs::hex16(obs::fnv1a64(material));
+  }
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
@@ -340,7 +370,8 @@ void perfRecord(const std::string& label, double wallSeconds,
                               threads > 0 ? threads : gThreads);
   if (gPerfJsonPath.empty()) return;
   gPerfEntries.push_back(
-      PerfEntry{label, wallSeconds, events, threads > 0 ? threads : gThreads});
+      PerfEntry{label, wallSeconds, events, threads > 0 ? threads : gThreads,
+                SimMeta{}});
 }
 
 namespace {
@@ -399,10 +430,21 @@ bool perfFlush() {
     std::fprintf(f,
                  "    {\"label\": \"%s\", \"threads\": %u, "
                  "\"wall_seconds\": %.6f, "
-                 "\"events\": %llu, \"events_per_second\": %.0f}%s\n",
+                 "\"events\": %llu, \"events_per_second\": %.0f",
                  jsonEscape(e.label).c_str(), e.threads, e.wallSeconds,
-                 static_cast<unsigned long long>(e.events), eps,
-                 i + 1 < gPerfEntries.size() ? "," : "");
+                 static_cast<unsigned long long>(e.events), eps);
+    if (e.sim.present) {
+      // Flat scalar fields only: perf_compare scans each record up to its
+      // first '}', so nothing nested may appear here.
+      std::fprintf(f,
+                   ", \"np\": %d, \"nf\": %d, \"strategy\": \"%s\", "
+                   "\"config\": \"%s\", \"measured_gbs\": \"%s\", "
+                   "\"sim_seconds\": %.6f",
+                   e.sim.np, e.sim.nf, jsonEscape(e.sim.strategy).c_str(),
+                   jsonEscape(e.sim.config).c_str(),
+                   jsonEscape(e.sim.measuredGbs).c_str(), e.sim.simSeconds);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < gPerfEntries.size() ? "," : "");
     totalWall += e.wallSeconds;
     totalEvents += e.events;
   }
@@ -596,6 +638,26 @@ iolib::CheckpointResult runMeasured(iolib::SimStack& stack, int np,
   return result;
 }
 
+/// perfRecord plus the strategy/result metadata of one simulated
+/// checkpoint. Both runSim paths (fresh run, prefetch-cache replay) land
+/// here, so the --perf-json record carries the same sim fields whatever
+/// the thread count.
+void perfRecordSim(const std::string& label, double wallSeconds,
+                   std::uint64_t events, int np,
+                   const iolib::StrategyConfig& cfg,
+                   const iolib::CheckpointResult& result) {
+  perfRecord(label, wallSeconds, events);
+  if (gPerfJsonPath.empty() || gPerfEntries.empty()) return;
+  SimMeta& sim = gPerfEntries.back().sim;
+  sim.present = true;
+  sim.np = np;
+  sim.nf = cfg.nf;
+  sim.strategy = iolib::strategyName(cfg.kind);
+  sim.config = cfg.describe();
+  sim.measuredGbs = gbs(result.bandwidth);
+  sim.simSeconds = result.makespan;
+}
+
 }  // namespace
 
 void prefetchSims(const std::vector<SimPoint>& points) {
@@ -646,7 +708,8 @@ iolib::CheckpointResult runSim(int np, const iolib::StrategyConfig& cfg,
     cached->second.pop_front();
     if (cached->second.empty()) gSimCache.erase(cached);
     // Replayed at consumption time so the perf record keeps serial order.
-    perfRecord(run.label, run.wallSeconds, run.events);
+    perfRecordSim(run.label, run.wallSeconds, run.events, np, cfg,
+                  run.result);
     return run.result;
   }
   iolib::SimStackOptions opt;
@@ -663,7 +726,8 @@ iolib::CheckpointResult runSim(iolib::SimStack& stack, int np,
   double wall = 0.0;
   std::uint64_t events = 0;
   auto result = runMeasured(stack, np, cfg, wall, events);
-  perfRecord("np=" + std::to_string(np) + " " + cfg.describe(), wall, events);
+  perfRecordSim("np=" + std::to_string(np) + " " + cfg.describe(), wall,
+                events, np, cfg, result);
   return result;
 }
 

@@ -50,11 +50,8 @@ namespace bgckpt::obs {
 
 class Telemetry;
 
-/// Schema tag for the `<artifact>.manifest.json` sidecar bench/common
-/// writes next to every observability artifact. tools/trace_report refuses
-/// artifacts whose manifest carries a different version (exit 2), so stale
-/// files from an incompatible build fail loudly instead of misparsing.
-inline constexpr const char* kManifestSchemaVersion = "bgckpt-manifest-1";
+// The `<artifact>.manifest.json` sidecar schema (kManifestSchemaVersion)
+// moved to obs/runstore.hpp, which owns cross-run provenance.
 
 enum class ProbeKind : int { kGauge = 0, kCounter = 1, kRate = 2 };
 const char* probeKindName(ProbeKind k);

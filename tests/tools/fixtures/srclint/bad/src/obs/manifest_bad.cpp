@@ -1,0 +1,12 @@
+// Fixture: manifest sidecars must be written through the shared stamping
+// helper. This file sits in src/obs *next to* runstore.cpp but is not on
+// the allowlist, so both hand-rolled sidecar paths are findings.
+#include <string>
+
+std::string sidecarPath(const std::string& artifact) {
+  return artifact + ".manifest.json";  // manifest-stamp
+}
+
+std::string legacySidecar() {
+  return std::string("trace.json.manifest.json");  // manifest-stamp
+}

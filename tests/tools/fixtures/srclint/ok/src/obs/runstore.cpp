@@ -1,0 +1,8 @@
+// Fixture: src/obs/runstore.* is the manifest-stamp rule's allowlisted
+// writer — the literal sidecar suffix here is the sanctioned stamping
+// site, not a finding.
+#include <string>
+
+std::string manifestPathFor(const std::string& artifact) {
+  return artifact + ".manifest.json";
+}

@@ -124,6 +124,29 @@ TEST(SrclintRules, WallClockCarveOutDoesNotLeak) {
   EXPECT_FALSE(has(both.output, "runtimeprof.cpp")) << both.output;
 }
 
+// manifest-stamp: the ".manifest.json" sidecar suffix is reserved for the
+// shared stamping helper (src/obs/runstore.*); hand-rolled sidecar paths
+// anywhere else in src/ or bench/ are findings.
+TEST(SrclintRules, ManifestStampAllowlistedWriterIsClean) {
+  const auto r = run(srclint() + " " + fx("ok/src/obs/runstore.cpp"));
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_EQ(countOf(r.output, "[manifest-stamp]"), 0) << r.output;
+}
+
+TEST(SrclintRules, ManifestStampCarveOutDoesNotLeak) {
+  // A src/obs neighbor of runstore.cpp: both literal sidecar paths flagged.
+  const auto obs = run(srclint() + " " + fx("bad/src/obs/manifest_bad.cpp"));
+  EXPECT_EQ(obs.exitCode, 1) << obs.output;
+  EXPECT_EQ(countOf(obs.output, "[manifest-stamp]"), 2) << obs.output;
+  // Running the allowlisted writer alongside changes nothing: the
+  // carve-out is per-path, not per-invocation.
+  const auto both = run(srclint() + " " + fx("ok/src/obs/runstore.cpp") +
+                        " " + fx("bad/src/obs/manifest_bad.cpp"));
+  EXPECT_EQ(both.exitCode, 1) << both.output;
+  EXPECT_EQ(countOf(both.output, "[manifest-stamp]"), 2) << both.output;
+  EXPECT_FALSE(has(both.output, "runstore.cpp")) << both.output;
+}
+
 TEST(SrclintRules, Pr3TernaryCoAwaitReproIsFlagged) {
   const auto r =
       run(srclint() + " " + fx("bad/src/fssim/pr3_ternary_bad.cpp"));
@@ -240,7 +263,7 @@ TEST(SrclintCli, ListRulesNamesEveryFamily) {
        {"ternary-co-await", "coro-lambda-capture", "coro-spawn-dangling",
         "det-unordered-iteration", "shard-send-lookahead",
         "shard-global-read", "static-mutable", "wall-clock",
-        "allow-unknown-rule", "baseline-stale"})
+        "manifest-stamp", "allow-unknown-rule", "baseline-stale"})
     EXPECT_TRUE(has(r.output, rule)) << rule << "\n" << r.output;
 }
 

@@ -146,6 +146,17 @@ const std::vector<RuleInfo> kRules = {
      "determinism leak once shards run on worker threads. Route the state\n"
      "through the Scheduler, the ShardGroup mailboxes, or an explicitly\n"
      "synchronized registry."},
+    {"manifest-stamp", "provenance",
+     "\".manifest.json\" spelled outside the shared stamping helper "
+     "(allowlist: src/obs/runstore.*)",
+     "Every obs artifact's `<file>.manifest.json` sidecar is written by\n"
+     "obs::writeArtifactManifest (src/obs/runstore.cpp), which stamps the\n"
+     "schema version, git revision, and config hash that make artifacts\n"
+     "addressable from the campaign ledger. A layer that assembles the\n"
+     "sidecar path itself will drift from the manifest schema the readers\n"
+     "gate on (trace_report rejects unknown manifest versions with exit\n"
+     "2) and will miss the provenance fields, so the literal suffix in\n"
+     "src/ or bench/ is a finding outside the helper's own files."},
     {"allow-needs-justification", "meta",
      "srclint:allow without a justification",
      "Every suppression documents why it is safe:\n"
@@ -202,6 +213,13 @@ const std::set<std::string> kWallClockIdents = {
 constexpr const char* kWallClockAllowedPaths[] = {
     "src/obs/runtimeprof.",
     "bench/common.",
+};
+
+/// The manifest-stamp rule's carve-out: the shared stamping helper itself
+/// (obs::writeArtifactManifest and its header docs) is the one sanctioned
+/// place in src/ or bench/ that spells the sidecar suffix.
+constexpr const char* kManifestStampAllowedPaths[] = {
+    "src/obs/runstore.",
 };
 
 /// Per-file rule context: effective allow map and a findings sink that
@@ -303,6 +321,13 @@ void tokenRules(FileCtx& ctx) {
 
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
+    if (t.kind == Tok::kString && (f.inSrc || f.inBench) &&
+        !f.manifestStampAllowed &&
+        t.text.find("manifest.json") != std::string::npos)
+      ctx.report(t.line, "manifest-stamp",
+                 "\".manifest.json\" sidecars are written only by "
+                 "obs::writeArtifactManifest (src/obs/runstore.hpp), which "
+                 "stamps the schema version, git revision, and config hash");
     if (t.kind != Tok::kIdent) continue;
     const Token* prev = i > 0 ? &toks[i - 1] : nullptr;
     const Token* next = i + 1 < toks.size() ? &toks[i + 1] : nullptr;
@@ -974,6 +999,8 @@ AnalyzedFile analyze(LexedFile lexed) {
   f.inBench = name.find("bench/") != std::string::npos;
   for (const char* allowed : kWallClockAllowedPaths)
     if (name.find(allowed) != std::string::npos) f.wallClockAllowed = true;
+  for (const char* allowed : kManifestStampAllowedPaths)
+    if (name.find(allowed) != std::string::npos) f.manifestStampAllowed = true;
   f.inSimcore = name.find("src/simcore/") != std::string::npos;
   f.inNetsim = name.find("src/netsim/") != std::string::npos;
   f.inObs = name.find("src/obs/") != std::string::npos;

@@ -48,6 +48,10 @@ struct AnalyzedFile {
   /// rule option instead of scattering srclint:allow markers through files
   /// whose whole purpose is wall-clock measurement.
   bool wallClockAllowed = false;
+  /// Path is the manifest-stamp rule's sanctioned writer
+  /// (src/obs/runstore.*): the one place allowed to spell the
+  /// ".manifest.json" sidecar suffix in src/ or bench/.
+  bool manifestStampAllowed = false;
   bool inSimcore = false;
   bool inNetsim = false;
   bool inObs = false;

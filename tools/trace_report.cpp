@@ -36,15 +36,27 @@
 // the serial-fraction / Amdahl-ceiling analysis; --diff compares two
 // profiles point by point and phase by phase (before/after a sharding
 // change).
+//
+// --campaign renders the cross-run ledger a `tools/sweep` run wrote: the
+// per-strategy bandwidth-vs-np table (the fig5 surface re-derived from
+// stored perf records, byte-identical to the benches' own stdout values),
+// the best-strategy-per-(np, nf) matrix, and the per-config run list.
+// With --diff it lines configs up across two ledgers by config hash (A/B
+// across git revs); with --baseline it gates per-config event counts
+// against a committed ledger (drift beyond --tolerance fails, exit 1 —
+// the perf_compare contract applied across runs).
+//
 // Both the artifact's "schema" field and its "<file>.manifest.json"
-// sidecar (when present) must match this build's schema versions, else
-// exit 2.
+// sidecar (when present) must match this build's schema versions
+// (manifest v1 and v2 both read), else exit 2.
 //
 // The JSONL form keeps timestamps in simulated seconds, so nothing here
 // needs to undo the microsecond scaling of the Chrome stream.
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -56,6 +68,7 @@
 #include "obs/attr.hpp"
 #include "obs/json.hpp"
 #include "obs/optrace.hpp"
+#include "obs/runstore.hpp"
 #include "obs/runtimeprof.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -81,8 +94,10 @@ int usage(const char* argv0) {
                " [--width N]\n"
                "       %s --waterfall <optrace.json> [--req ID |"
                " --diff <other.json>]\n"
-               "       %s --runtime <runtimeprof.json> [--diff <other.json>]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0);
+               "       %s --runtime <runtimeprof.json> [--diff <other.json>]\n"
+               "       %s --campaign <ledger-dir> [--diff <other-dir> |"
+               " --baseline <dir> [--tolerance F]]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -204,6 +219,42 @@ bool loadJsonFile(const char* path, Value* out) {
   return true;
 }
 
+/// Load one artifact JSON behind the shared schema gate: the document's
+/// "schema" field must be exactly `expectedSchema`, and any
+/// "<path>.manifest.json" sidecar must carry a manifest version this build
+/// reads (v2, and v1 for pre-ledger artifacts). Every gated mode
+/// (--timeline, --waterfall, --runtime, --campaign) funnels through here,
+/// and every failure funnels to the same caller exit-2 path. A missing
+/// manifest is tolerated (hand-built fixtures, moved files).
+bool loadGatedArtifact(const char* path, const char* kind,
+                       const char* expectedSchema, Value* out) {
+  if (!loadJsonFile(path, out)) return false;
+  const std::string schema = out->stringOr("schema", "(none)");
+  if (schema != expectedSchema) {
+    std::fprintf(stderr,
+                 "trace_report: %s: %s schema \"%s\" not supported "
+                 "(this build reads \"%s\")\n",
+                 path, kind, schema.c_str(), expectedSchema);
+    return false;
+  }
+  const std::string manifestPath = std::string(path) + ".manifest.json";
+  if (std::ifstream probe(manifestPath); probe) {
+    Value manifest;
+    if (!loadJsonFile(manifestPath.c_str(), &manifest)) return false;
+    const std::string mv = manifest.stringOr("schema_version", "(none)");
+    if (!bgckpt::obs::manifestSchemaSupported(mv)) {
+      std::fprintf(stderr,
+                   "trace_report: %s: manifest schema \"%s\" not supported "
+                   "(this build reads \"%s\" and \"%s\")\n",
+                   manifestPath.c_str(), mv.c_str(),
+                   bgckpt::obs::kManifestSchemaVersion,
+                   bgckpt::obs::kManifestSchemaV1);
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Pull "seconds" per bucket name out of a critpath "by_kind"/"by_label"
 /// array, preserving file order.
 std::vector<std::pair<std::string, double>> critBuckets(const Value& doc,
@@ -289,36 +340,14 @@ struct TimelineDoc {
   std::vector<TimelineSeries> series;
 };
 
-/// Load and validate one `--telemetry` export. The artifact's own "schema"
-/// field AND any "<path>.manifest.json" sidecar must carry the versions
-/// this build understands; mismatches are a hard error (exit 2 upstream) so
-/// a stale file never misparses silently. A missing manifest is tolerated
-/// (hand-built fixtures, moved files).
+/// Load and validate one `--telemetry` export (schema + manifest gate via
+/// loadGatedArtifact; mismatches are a hard error, exit 2 upstream, so a
+/// stale file never misparses silently).
 bool loadTimeline(const char* path, TimelineDoc* out) {
   Value doc;
-  if (!loadJsonFile(path, &doc)) return false;
-  const std::string schema = doc.stringOr("schema", "(none)");
-  if (schema != bgckpt::obs::Telemetry::kSchemaVersion) {
-    std::fprintf(stderr,
-                 "trace_report: %s: telemetry schema \"%s\" not supported "
-                 "(this build reads \"%s\")\n",
-                 path, schema.c_str(), bgckpt::obs::Telemetry::kSchemaVersion);
+  if (!loadGatedArtifact(path, "telemetry",
+                         bgckpt::obs::Telemetry::kSchemaVersion, &doc))
     return false;
-  }
-  const std::string manifestPath = std::string(path) + ".manifest.json";
-  if (std::ifstream probe(manifestPath); probe) {
-    Value manifest;
-    if (!loadJsonFile(manifestPath.c_str(), &manifest)) return false;
-    const std::string mv = manifest.stringOr("schema_version", "(none)");
-    if (mv != bgckpt::obs::kManifestSchemaVersion) {
-      std::fprintf(stderr,
-                   "trace_report: %s: manifest schema \"%s\" not supported "
-                   "(this build reads \"%s\")\n",
-                   manifestPath.c_str(), mv.c_str(),
-                   bgckpt::obs::kManifestSchemaVersion);
-      return false;
-    }
-  }
   out->dt = doc.numberOr("bucket_dt", bgckpt::obs::Telemetry::kDefaultDt);
   out->horizon = doc.numberOr("horizon", 0);
   out->buckets = static_cast<std::int64_t>(doc.numberOr("buckets", 0));
@@ -511,32 +540,12 @@ E2eStats parseE2e(const Value& parent) {
   return s;
 }
 
-/// Load and validate one `--optrace` export, with the same schema +
-/// manifest-sidecar rules as loadTimeline.
+/// Load and validate one `--optrace` export, behind the same gate as
+/// loadTimeline.
 bool loadOpTrace(const char* path, OpTraceDoc* out) {
-  if (!loadJsonFile(path, &out->doc)) return false;
-  const std::string schema = out->doc.stringOr("schema", "(none)");
-  if (schema != bgckpt::obs::OpTracer::kSchemaVersion) {
-    std::fprintf(stderr,
-                 "trace_report: %s: optrace schema \"%s\" not supported "
-                 "(this build reads \"%s\")\n",
-                 path, schema.c_str(), bgckpt::obs::OpTracer::kSchemaVersion);
+  if (!loadGatedArtifact(path, "optrace",
+                         bgckpt::obs::OpTracer::kSchemaVersion, &out->doc))
     return false;
-  }
-  const std::string manifestPath = std::string(path) + ".manifest.json";
-  if (std::ifstream probe(manifestPath); probe) {
-    Value manifest;
-    if (!loadJsonFile(manifestPath.c_str(), &manifest)) return false;
-    const std::string mv = manifest.stringOr("schema_version", "(none)");
-    if (mv != bgckpt::obs::kManifestSchemaVersion) {
-      std::fprintf(stderr,
-                   "trace_report: %s: manifest schema \"%s\" not supported "
-                   "(this build reads \"%s\")\n",
-                   manifestPath.c_str(), mv.c_str(),
-                   bgckpt::obs::kManifestSchemaVersion);
-      return false;
-    }
-  }
   out->sampleEvery = out->doc.numberOr("sample_every", 1);
   out->horizon = out->doc.numberOr("horizon", 0);
   out->e2e = parseE2e(out->doc);
@@ -763,33 +772,12 @@ struct RuntimeProfDoc {
   std::vector<ShardGroupAgg> groups;  // keyed by (shards, threads)
 };
 
-/// Load and validate one `--runtime-profile` export, with the same schema
-/// + manifest-sidecar rules as loadTimeline.
+/// Load and validate one `--runtime-profile` export, behind the same gate
+/// as loadTimeline.
 bool loadRuntimeProf(const char* path, RuntimeProfDoc* out) {
-  if (!loadJsonFile(path, &out->doc)) return false;
-  const std::string schema = out->doc.stringOr("schema", "(none)");
-  if (schema != bgckpt::obs::kRuntimeProfSchemaVersion) {
-    std::fprintf(stderr,
-                 "trace_report: %s: runtimeprof schema \"%s\" not supported "
-                 "(this build reads \"%s\")\n",
-                 path, schema.c_str(),
-                 bgckpt::obs::kRuntimeProfSchemaVersion);
+  if (!loadGatedArtifact(path, "runtimeprof",
+                         bgckpt::obs::kRuntimeProfSchemaVersion, &out->doc))
     return false;
-  }
-  const std::string manifestPath = std::string(path) + ".manifest.json";
-  if (std::ifstream probe(manifestPath); probe) {
-    Value manifest;
-    if (!loadJsonFile(manifestPath.c_str(), &manifest)) return false;
-    const std::string mv = manifest.stringOr("schema_version", "(none)");
-    if (mv != bgckpt::obs::kManifestSchemaVersion) {
-      std::fprintf(stderr,
-                   "trace_report: %s: manifest schema \"%s\" not supported "
-                   "(this build reads \"%s\")\n",
-                   manifestPath.c_str(), mv.c_str(),
-                   bgckpt::obs::kManifestSchemaVersion);
-      return false;
-    }
-  }
   const Value* runs = out->doc.find("shard_runs");
   if (runs == nullptr || !runs->isArray()) return true;
   for (const Value& rv : *runs->array) {
@@ -1048,11 +1036,261 @@ int runRuntimeMode(const char* pathA, const char* pathB) {
   return 0;
 }
 
+// ------------------------------------------------------ --campaign mode --
+
+using bgckpt::obs::LedgerEntry;
+using bgckpt::obs::RunStore;
+
+/// One simulated-checkpoint perf record pulled out of a ledger entry:
+/// the row unit of the cross-run bandwidth and best-strategy views.
+struct CampaignRun {
+  int np = 0;
+  int nf = 0;
+  std::string strategy;     // "1PFPP" / "coIO" / "rbIO"
+  std::string config;       // StrategyConfig::describe() text
+  std::string measuredGbs;  // the exact string the bench printed
+  double gbsValue = 0;      // parsed from measuredGbs, comparisons only
+};
+
+/// Human identity of one stored run: "bench --args" plus the repetition
+/// ordinal when the sweep asked for more than one.
+std::string runLabel(const LedgerEntry& e) {
+  std::string label = e.config.stringOr("bench", "?");
+  if (const Value* args = e.config.find("args"); args && args->isArray())
+    for (const Value& a : *args->array) {
+      label += ' ';
+      label += a.string;
+    }
+  const int rep = static_cast<int>(e.config.numberOr("rep", 1));
+  if (rep > 1) label += " [rep " + std::to_string(rep) + "]";
+  return label;
+}
+
+double perfTotal(const LedgerEntry& e, const char* field) {
+  const Value* total = e.perf.find("total");
+  return total != nullptr ? total->numberOr(field, 0) : 0;
+}
+
+std::vector<CampaignRun> collectSimRuns(
+    const std::vector<LedgerEntry>& entries) {
+  std::vector<CampaignRun> out;
+  for (const LedgerEntry& e : entries) {
+    const Value* runs = e.perf.find("runs");
+    if (runs == nullptr || !runs->isArray()) continue;
+    for (const Value& rv : *runs->array) {
+      if (!rv.isObject() || rv.find("strategy") == nullptr) continue;
+      CampaignRun r;
+      r.np = static_cast<int>(rv.numberOr("np", 0));
+      r.nf = static_cast<int>(rv.numberOr("nf", 0));
+      r.strategy = rv.stringOr("strategy", "?");
+      r.config = rv.stringOr("config", "?");
+      r.measuredGbs = rv.stringOr("measured_gbs", "?");
+      r.gbsValue = std::strtod(r.measuredGbs.c_str(), nullptr);
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+/// Open a ledger directory, report corrupt entries on stderr, and require
+/// at least one intact run.
+bool openLedger(const char* dir, std::vector<LedgerEntry>* out) {
+  std::vector<std::string> errors;
+  *out = RunStore(dir).loadAll(&errors);
+  for (const std::string& err : errors)
+    std::fprintf(stderr, "trace_report: skipping entry: %s\n", err.c_str());
+  if (out->empty()) {
+    std::fprintf(stderr, "trace_report: %s: no intact ledger entries\n", dir);
+    return false;
+  }
+  return true;
+}
+
+void printLedgerSummary(const std::vector<LedgerEntry>& entries) {
+  std::unordered_set<std::string> hashes, revs;
+  std::string revList;
+  for (const LedgerEntry& e : entries) {
+    hashes.insert(e.configHash);
+    if (revs.insert(e.gitRev).second) {
+      if (!revList.empty()) revList += ", ";
+      revList += e.gitRev;
+    }
+  }
+  std::printf("%zu run(s), %zu distinct config(s), revision(s): %s\n",
+              entries.size(), hashes.size(), revList.c_str());
+}
+
+/// The fig5 surface, re-derived: strategy configuration x np, each cell
+/// the stored `measured_gbs` string verbatim. Conflicting duplicates (same
+/// config and np, different measurement) render as "varies" rather than
+/// silently picking one.
+void renderBandwidthTable(const std::vector<CampaignRun>& runs) {
+  std::vector<int> nps;
+  for (const CampaignRun& r : runs)
+    if (std::find(nps.begin(), nps.end(), r.np) == nps.end())
+      nps.push_back(r.np);
+  std::sort(nps.begin(), nps.end());
+  // config text -> np -> cell; file order decides row order (stable).
+  std::vector<std::string> order;
+  std::map<std::string, std::map<int, std::string>> cells;
+  for (const CampaignRun& r : runs) {
+    if (cells.find(r.config) == cells.end()) order.push_back(r.config);
+    auto& cell = cells[r.config][r.np];
+    if (cell.empty())
+      cell = r.measuredGbs;
+    else if (cell != r.measuredGbs)
+      cell = "varies";
+  }
+  std::printf("\nper-strategy bandwidth vs np (measured):\n%-26s", "strategy");
+  for (int np : nps) {
+    char head[24];
+    std::snprintf(head, sizeof(head), "np=%d", np);
+    std::printf(" %14s", head);
+  }
+  std::printf("\n");
+  for (const std::string& config : order) {
+    std::printf("%-26s", config.c_str());
+    for (int np : nps) {
+      const auto& row = cells[config];
+      const auto it = row.find(np);
+      std::printf(" %14s", it == row.end() ? "-" : it->second.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+/// Which strategy wins each (np, nf) cell, by measured bandwidth.
+void renderBestStrategyMatrix(const std::vector<CampaignRun>& runs) {
+  std::vector<int> nps, nfs;
+  for (const CampaignRun& r : runs) {
+    if (std::find(nps.begin(), nps.end(), r.np) == nps.end())
+      nps.push_back(r.np);
+    if (std::find(nfs.begin(), nfs.end(), r.nf) == nfs.end())
+      nfs.push_back(r.nf);
+  }
+  std::sort(nps.begin(), nps.end());
+  std::sort(nfs.begin(), nfs.end());
+  std::map<std::pair<int, int>, const CampaignRun*> best;
+  for (const CampaignRun& r : runs) {
+    const CampaignRun*& slot = best[{r.np, r.nf}];
+    if (slot == nullptr || r.gbsValue > slot->gbsValue) slot = &r;
+  }
+  std::printf("\nbest strategy per (np, nf), by measured bandwidth:\n%-10s",
+              "np \\ nf");
+  for (int nf : nfs) std::printf(" %12d", nf);
+  std::printf("\n");
+  for (int np : nps) {
+    std::printf("%-10d", np);
+    for (int nf : nfs) {
+      const auto it = best.find({np, nf});
+      std::printf(" %12s",
+                  it == best.end() ? "-" : it->second->strategy.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+int runCampaignMode(const char* dir, const char* diffDir,
+                    const char* baselineDir, double tolerance) {
+  std::vector<LedgerEntry> entries;
+  if (!openLedger(dir, &entries)) return 2;
+  std::printf("campaign ledger: %s\n", dir);
+  printLedgerSummary(entries);
+
+  if (diffDir != nullptr) {
+    std::vector<LedgerEntry> other;
+    if (!openLedger(diffDir, &other)) return 2;
+    std::printf("diff against: %s\n", diffDir);
+    printLedgerSummary(other);
+    std::map<std::string, const LedgerEntry*> byHashB;
+    for (const LedgerEntry& e : other) byHashB[e.configHash] = &e;
+    std::unordered_set<std::string> matched;
+    std::printf("\n%-44s %10s %10s %8s %12s %12s %8s\n", "config", "A wall-s",
+                "B wall-s", "B/A", "A events", "B events", "delta");
+    for (const LedgerEntry& a : entries) {
+      const auto it = byHashB.find(a.configHash);
+      if (it == byHashB.end()) continue;
+      matched.insert(a.configHash);
+      const LedgerEntry& b = *it->second;
+      const double wallA = perfTotal(a, "wall_seconds");
+      const double wallB = perfTotal(b, "wall_seconds");
+      const double evA = perfTotal(a, "events");
+      const double evB = perfTotal(b, "events");
+      std::printf("%-44s %10.3f %10.3f %7.2fx %12.0f %12.0f %+7.2f%%\n",
+                  runLabel(a).c_str(), wallA, wallB,
+                  wallA > 0 ? wallB / wallA : 0.0, evA, evB,
+                  evA > 0 ? (evB - evA) / evA * 100.0 : 0.0);
+    }
+    for (const LedgerEntry& a : entries)
+      if (byHashB.find(a.configHash) == byHashB.end())
+        std::printf("only in A: %s (rev %s)\n", runLabel(a).c_str(),
+                    a.gitRev.c_str());
+    for (const LedgerEntry& b : other)
+      if (matched.find(b.configHash) == matched.end())
+        std::printf("only in B: %s (rev %s)\n", runLabel(b).c_str(),
+                    b.gitRev.c_str());
+    return 0;
+  }
+
+  if (baselineDir != nullptr) {
+    // The perf_compare contract applied across runs: simulated event
+    // counts are deterministic per (config, code), so any drift beyond
+    // the tolerance marks a behavioural change — and fails the gate.
+    // Wall time is printed for context only (ledgers cross machines).
+    std::vector<LedgerEntry> base;
+    if (!openLedger(baselineDir, &base)) return 2;
+    std::printf("gating against: %s (tolerance %.1f%%)\n", baselineDir,
+                tolerance * 100.0);
+    std::map<std::string, const LedgerEntry*> byHash;
+    for (const LedgerEntry& e : base) byHash[e.configHash] = &e;
+    int failed = 0, skipped = 0, ok = 0;
+    std::printf("\n");
+    for (const LedgerEntry& cur : entries) {
+      const auto it = byHash.find(cur.configHash);
+      if (it == byHash.end()) {
+        std::printf("campaign gate [SKIP] %s: not in baseline\n",
+                    runLabel(cur).c_str());
+        ++skipped;
+        continue;
+      }
+      const double evCur = perfTotal(cur, "events");
+      const double evBase = perfTotal(*it->second, "events");
+      const double drift =
+          evBase > 0 ? std::abs(evCur - evBase) / evBase : (evCur > 0 ? 1 : 0);
+      const bool pass = drift <= tolerance;
+      std::printf("campaign gate [%s] %s: events %.0f -> %.0f (%+.2f%%), "
+                  "wall %.3fs -> %.3fs\n",
+                  pass ? "OK" : "FAIL", runLabel(cur).c_str(), evBase, evCur,
+                  evBase > 0 ? (evCur - evBase) / evBase * 100.0 : 0.0,
+                  perfTotal(*it->second, "wall_seconds"),
+                  perfTotal(cur, "wall_seconds"));
+      pass ? ++ok : ++failed;
+    }
+    std::printf("\n%d gated: %d ok, %d failed, %d skipped\n",
+                ok + failed + skipped, ok, failed, skipped);
+    return failed > 0 ? 1 : 0;
+  }
+
+  const std::vector<CampaignRun> simRuns = collectSimRuns(entries);
+  if (!simRuns.empty()) {
+    renderBandwidthTable(simRuns);
+    renderBestStrategyMatrix(simRuns);
+  }
+  std::printf("\nruns:\n");
+  for (const LedgerEntry& e : entries)
+    std::printf("  %s  rev %-12s exit %d  wall %8.3fs  %s\n", e.key.c_str(),
+                e.gitRev.c_str(), e.exitCode, e.wallSeconds,
+                runLabel(e).c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* diffPath = nullptr;
+  const char* baselinePath = nullptr;
+  double tolerance = 0.15;
   int bins = 60;
   int width = 72;
   long long reqId = -1;
@@ -1062,7 +1300,8 @@ int main(int argc, char** argv) {
     kCritPath,
     kTimeline,
     kWaterfall,
-    kRuntime
+    kRuntime,
+    kCampaign
   } mode = Mode::kSummary;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--bins") == 0 && i + 1 < argc) {
@@ -1084,6 +1323,13 @@ int main(int argc, char** argv) {
       mode = Mode::kWaterfall;
     } else if (std::strcmp(argv[i], "--runtime") == 0) {
       mode = Mode::kRuntime;
+    } else if (std::strcmp(argv[i], "--campaign") == 0) {
+      mode = Mode::kCampaign;
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baselinePath = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+      if (!(tolerance >= 0)) return usage(argv[0]);
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
       diffPath = argv[++i];
     } else if (argv[i][0] == '-') {
@@ -1096,12 +1342,17 @@ int main(int argc, char** argv) {
   if (diffPath != nullptr && mode == Mode::kSummary) return usage(argv[0]);
   if (reqId >= 0 && (mode != Mode::kWaterfall || diffPath != nullptr))
     return usage(argv[0]);
+  if (baselinePath != nullptr &&
+      (mode != Mode::kCampaign || diffPath != nullptr))
+    return usage(argv[0]);
   if (mode == Mode::kAttr) return runAttrMode(path, diffPath);
   if (mode == Mode::kCritPath) return runCritPathMode(path, diffPath);
   if (mode == Mode::kTimeline) return runTimelineMode(path, diffPath, width);
   if (mode == Mode::kWaterfall)
     return runWaterfallMode(path, diffPath, reqId, width);
   if (mode == Mode::kRuntime) return runRuntimeMode(path, diffPath);
+  if (mode == Mode::kCampaign)
+    return runCampaignMode(path, diffPath, baselinePath, tolerance);
 
   std::ifstream in(path);
   if (!in) {
